@@ -1,0 +1,52 @@
+"""Address lifetimes & survival (the staleness mechanics of Section 6)."""
+
+from benchmarks.conftest import write_report
+from repro.analysis import lifetime
+from repro.report import fmt_float, fmt_int, fmt_pct, render_table, shape_check
+
+
+def _both(experiment):
+    return (lifetime.analyze(experiment.ntp_dataset),
+            lifetime.survival_curve(experiment.ntp_dataset),
+            lifetime.turnover_rate(experiment.ntp_dataset))
+
+
+def test_address_lifetime(experiment, benchmark):
+    report, curve, turnover = benchmark(_both, experiment)
+
+    text = render_table(
+        ["metric", "value"],
+        [
+            ["collected addresses", fmt_int(report.total_addresses)],
+            ["single-sighting addresses",
+             f"{fmt_int(report.single_sighting)} "
+             f"({fmt_pct(report.single_sighting_share)})"],
+            ["median observation span",
+             f"{fmt_float(report.median_span_days, 2)} days"],
+            ["share observed >= 7 days", fmt_pct(report.long_lived_share)],
+            ["daily new-address turnover", fmt_pct(turnover)],
+        ],
+        title="NTP-collected address lifetimes")
+    text += "\n\n" + render_table(
+        ["still observed after", "share of addresses"],
+        [[f"{day} d", fmt_pct(share)] for day, share in sorted(curve.items())])
+
+    checks = [
+        shape_check("most collected addresses are ephemeral (privacy "
+                    "rotation + prefix churn)",
+                    report.single_sighting_share > 0.4),
+        shape_check("survival decays with age — a d-day-old list decays "
+                    "with it (Section 6: 'outdated almost immediately')",
+                    curve[14] < curve[3] < curve[1]),
+        shape_check("a stable core exists (static premises, EUI-64 "
+                    "routers)", report.long_lived_share > 0.005),
+    ]
+    text += "\n\n" + "\n".join(checks)
+    write_report("address_lifetime", text)
+
+    benchmark.extra_info.update({
+        "single_sighting_share": round(report.single_sighting_share, 4),
+        "turnover": round(turnover, 4),
+    })
+    assert report.single_sighting_share > 0.4
+    assert curve[14] < curve[1]

@@ -1,0 +1,54 @@
+"""Figure 1: address shares by IID class and by Cable/DSL/ISP AS label."""
+
+from benchmarks.conftest import write_report
+from repro.analysis import structure
+from repro.ipv6.iid import CLASSES
+from repro.report import fmt_pct, render_table, shape_check
+
+
+def _reports(experiment):
+    asdb = experiment.world.asdb
+    return [
+        structure.analyze("ntp", experiment.ntp_dataset.addresses, asdb),
+        structure.analyze("rl", experiment.rl_dataset.addresses, asdb),
+        structure.analyze("hitlist-full", experiment.hitlist.full, asdb),
+        structure.analyze("hitlist-public", experiment.hitlist.public, asdb),
+    ]
+
+
+def test_fig1_structure(experiment, benchmark):
+    reports = benchmark(_reports, experiment)
+
+    rows = []
+    for report in reports:
+        rows.append([report.label]
+                    + [fmt_pct(report.class_shares.get(cls, 0.0))
+                       for cls in CLASSES]
+                    + [fmt_pct(report.eyeball_as_share)])
+    text = render_table(
+        ["dataset"] + list(CLASSES) + ["Cable/DSL/ISP AS"],
+        rows, title="Figure 1 - Prop. of addresses grouped by IID and AS")
+
+    ntp, rl, full, public = reports
+    checks = [
+        shape_check("hitlist has the highest structured share "
+                    "(manually configured servers/routers)",
+                    full.structured_share > ntp.structured_share and
+                    public.structured_share > ntp.structured_share),
+        shape_check("NTP data is dominated by high-entropy (privacy) IIDs",
+                    ntp.high_entropy_share > 0.4),
+        shape_check("NTP and R&L shapes are similar (both client-heavy)",
+                    abs(ntp.high_entropy_share - rl.high_entropy_share) < 0.3),
+        shape_check("Cable/DSL/ISP share higher for NTP than hitlist",
+                    ntp.eyeball_as_share > full.eyeball_as_share),
+    ]
+    text += "\n\n" + "\n".join(checks)
+    write_report("fig1_structure", text)
+
+    benchmark.extra_info.update({
+        "ntp_high_entropy": round(ntp.high_entropy_share, 4),
+        "hitlist_structured": round(full.structured_share, 4),
+        "ntp_eyeball_share": round(ntp.eyeball_as_share, 4),
+    })
+    assert ntp.structured_share < full.structured_share
+    assert ntp.eyeball_as_share > full.eyeball_as_share

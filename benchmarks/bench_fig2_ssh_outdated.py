@@ -1,0 +1,41 @@
+"""Figure 2: SSH patch-level up-to-dateness, NTP vs hitlist."""
+
+from benchmarks.conftest import write_report
+from repro.analysis import security
+from repro.report import fmt_int, fmt_pct, render_table, shape_check
+
+
+def _both(ntp_scan, hitlist_scan):
+    return (security.ssh_outdatedness("ntp", ntp_scan),
+            security.ssh_outdatedness("hitlist", hitlist_scan))
+
+
+def test_fig2_ssh_outdated(experiment, benchmark):
+    ntp, hitlist = benchmark(_both, experiment.ntp_scan,
+                             experiment.hitlist_scan)
+
+    text = render_table(
+        ["dataset", "assessed keys", "outdated", "outdated share",
+         "patch hidden"],
+        [[report.label, fmt_int(report.assessed), fmt_int(report.outdated),
+          fmt_pct(report.outdated_share), fmt_int(report.unassessable)]
+         for report in (ntp, hitlist)],
+        title="Figure 2 - NTP-sourcing unveils more outdated SSH hosts")
+
+    checks = [
+        shape_check("both datasets show worryingly many outdated servers",
+                    ntp.outdated_share > 0.3
+                    and hitlist.outdated_share > 0.2),
+        shape_check("far higher outdated share via NTP (end-user admins)",
+                    ntp.outdated_share > hitlist.outdated_share + 0.1),
+        shape_check("non-Debian-derived hosts excluded (patch level hidden)",
+                    hitlist.unassessable > 0),
+    ]
+    text += "\n\n" + "\n".join(checks)
+    write_report("fig2_ssh_outdated", text)
+
+    benchmark.extra_info.update({
+        "ntp_outdated_share": round(ntp.outdated_share, 4),
+        "hitlist_outdated_share": round(hitlist.outdated_share, 4),
+    })
+    assert ntp.outdated_share > hitlist.outdated_share

@@ -1,0 +1,44 @@
+"""Figure 4 (Appendix B): collecting-server location by MAC class."""
+
+from benchmarks.conftest import write_report
+from repro.analysis import macs
+from repro.report import fmt_pct, render_table, shape_check
+
+#: European capture-server locations (the AVM market).
+EUROPEAN = ("Germany", "Spain", "Poland", "the Netherlands",
+            "United Kingdom")
+
+
+def test_fig4_mac_geo(experiment, benchmark):
+    shares = benchmark(macs.server_location_distribution,
+                       experiment.ntp_dataset, experiment.world.oui)
+
+    locations = sorted(
+        {loc for share in shares.values() for loc in share},
+        key=lambda loc: -shares["listed"].get(loc, 0.0))
+    rows = []
+    for mac_class in macs.MAC_CLASSES:
+        rows.append([mac_class]
+                    + [fmt_pct(shares[mac_class].get(loc, 0.0))
+                       for loc in locations])
+    text = render_table(
+        ["MAC class"] + [loc[:12] for loc in locations], rows,
+        title="Figure 4 - NTP server location distribution by MAC class")
+
+    listed_eu = sum(shares["listed"].get(loc, 0.0) for loc in EUROPEAN)
+    local_eu = sum(shares["local"].get(loc, 0.0) for loc in EUROPEAN)
+    checks = [
+        shape_check("listed (IEEE-registered) MACs skew towards the "
+                    "European servers (AVM market share)",
+                    listed_eu > local_eu),
+        shape_check("every MAC class observed somewhere",
+                    all(shares[cls] for cls in macs.MAC_CLASSES)),
+    ]
+    text += "\n\n" + "\n".join(checks)
+    write_report("fig4_mac_geo", text)
+
+    benchmark.extra_info.update({
+        "listed_eu_share": round(listed_eu, 4),
+        "local_eu_share": round(local_eu, 4),
+    })
+    assert listed_eu > local_eu

@@ -1,0 +1,54 @@
+"""Figure 6 (Appendix C): MQTT access control by network granularity."""
+
+from benchmarks.conftest import write_report
+from repro.analysis import security
+from repro.report import fmt_int, fmt_pct, render_table, shape_check
+
+LEVELS = (None, 64, 56, 48)
+
+
+def _views(ntp_scan, hitlist_scan):
+    views = {}
+    for level in LEVELS:
+        views[("ntp", level)] = security.broker_access_control(
+            "ntp", ntp_scan, "mqtt", by_network=level)
+        views[("hitlist", level)] = security.broker_access_control(
+            "hitlist", hitlist_scan, "mqtt", by_network=level)
+    return views
+
+
+def test_fig6_mqtt_networks(experiment, benchmark):
+    views = benchmark(_views, experiment.ntp_scan, experiment.hitlist_scan)
+
+    rows = []
+    for level in LEVELS:
+        label = "IPs" if level is None else f"/{level}"
+        ntp = views[("ntp", level)]
+        hit = views[("hitlist", level)]
+        rows.append([label,
+                     fmt_int(ntp.total), fmt_pct(ntp.access_control_share),
+                     fmt_int(hit.total), fmt_pct(hit.access_control_share)])
+    text = render_table(
+        ["granularity", "NTP brokers", "NTP access ctrl",
+         "hitlist brokers", "hitlist access ctrl"],
+        rows, title="Figure 6 - MQTT access control by network counting")
+
+    gaps = [views[("hitlist", level)].access_control_share
+            - views[("ntp", level)].access_control_share
+            for level in LEVELS]
+    checks = [
+        shape_check("the NTP-vs-hitlist access-control gap persists at "
+                    "every granularity (paper: ~40 pp)",
+                    all(gap > 0.05 for gap in gaps)),
+        shape_check("hitlist access control stays high at all levels "
+                    "(paper: near 100 % for IPs and /64)",
+                    views[("hitlist", None)].access_control_share > 0.5),
+    ]
+    text += "\n\n" + "\n".join(checks)
+    write_report("fig6_mqtt_networks", text)
+
+    benchmark.extra_info.update({
+        "gap_by_ip": round(gaps[0], 4),
+        "gap_by_48": round(gaps[-1], 4),
+    })
+    assert all(gap > 0 for gap in gaps)

@@ -1,0 +1,67 @@
+"""Host-fingerprint deduplication vs ground truth (Section 6 extension).
+
+The simulation knows exactly how many devices stand behind the
+collected addresses, so — uniquely — we can validate the paper's
+future-work idea: do MAC/stable-IID fingerprints produce *correct*
+host-count bounds?
+"""
+
+from benchmarks.conftest import write_report
+from repro.analysis import fingerprint
+from repro.report import fmt_float, fmt_int, render_table, shape_check
+
+
+def test_fingerprint_dedup(experiment, benchmark):
+    # A fresh iterator per benchmark round (a consumed iterator would
+    # leave later rounds measuring an empty input).
+    report = benchmark(lambda: fingerprint.dedup_addresses(
+        experiment.ntp_dataset.iter_addresses()))
+
+    # Ground truth: devices that emitted at least one captured request.
+    collected = experiment.ntp_dataset.addresses
+    true_hosts = sum(
+        1 for device in experiment.world.devices
+        if device.is_ntp_client)
+
+    text = render_table(
+        ["metric", "value"],
+        [
+            ["collected addresses", fmt_int(report.total_addresses)],
+            ["MAC-identified hosts",
+             fmt_int(sum(1 for c in report.clusters if c.kind == "mac"))],
+            ["stable-IID-identified hosts",
+             fmt_int(sum(1 for c in report.clusters
+                         if c.kind == "stable-iid"))],
+            ["unattributable (privacy) addresses",
+             fmt_int(report.unattributable)],
+            ["host-count lower bound", fmt_int(report.lower_bound)],
+            ["host-count upper bound", fmt_int(report.upper_bound)],
+            ["NTP-client devices in the world (ground truth ceiling)",
+             fmt_int(true_hosts)],
+            ["deduplication factor",
+             fmt_float(report.deduplication_factor, 2)],
+        ],
+        title="Fingerprint dedup of the collected dataset")
+
+    max_cluster = max((c.prefix_count for c in report.clusters), default=0)
+    checks = [
+        shape_check("fingerprinting shrinks the address set "
+                    "(paper: lists double-count dynamic hosts)",
+                    report.upper_bound < report.total_addresses),
+        shape_check("bounds bracket plausibly: lower <= upper <= addresses",
+                    report.lower_bound <= report.upper_bound
+                    <= report.total_addresses),
+        shape_check("identified hosts do not exceed the true device count",
+                    report.identified_hosts <= true_hosts),
+        shape_check("some interface tracked across multiple prefixes",
+                    max_cluster > 1),
+    ]
+    text += "\n\n" + "\n".join(checks)
+    write_report("fingerprint_dedup", text)
+
+    benchmark.extra_info.update({
+        "dedup_factor": round(report.deduplication_factor, 3),
+        "identified_hosts": report.identified_hosts,
+    })
+    assert report.upper_bound < report.total_addresses
+    assert report.identified_hosts <= true_hosts

@@ -1,0 +1,50 @@
+"""Section 6: certificate and key reuse across ASes."""
+
+from benchmarks.conftest import write_report
+from repro.analysis import keyreuse
+from repro.report import fmt_float, fmt_int, render_table, shape_check
+
+
+def _both(experiment):
+    asdb = experiment.world.asdb
+    return (keyreuse.analyze("ntp", experiment.ntp_scan, asdb),
+            keyreuse.analyze("hitlist", experiment.hitlist_scan, asdb))
+
+
+def test_keyreuse(experiment, benchmark):
+    ntp, hitlist = benchmark(_both, experiment)
+
+    rows = []
+    for report in (ntp, hitlist):
+        most_used = report.most_used
+        most_wide = report.most_widespread
+        rows.append([
+            report.label,
+            fmt_int(report.reused_key_count),
+            fmt_int(report.total_reused_addresses),
+            fmt_float(report.addresses_per_key),
+            (f"{fmt_int(most_used.addresses)} addrs / {most_used.ases} ASes"
+             if most_used else "-"),
+            (f"{most_wide.ases} ASes" if most_wide else "-"),
+        ])
+    text = render_table(
+        ["dataset", "reused keys", "addresses", "addrs/key",
+         "most-used key", "most-widespread key"],
+        rows, title="Section 6 - secrets reused across >2 ASes")
+
+    checks = [
+        shape_check("reuse present in both datasets (paper: 304 vs 3 846 "
+                    "keys)", ntp.reused_key_count > 0
+                    and hitlist.reused_key_count > 0),
+        shape_check("NTP data shows more addresses per reused key "
+                    "(paper: pre-built image secrets on end-user gear)",
+                    ntp.addresses_per_key > hitlist.addresses_per_key),
+    ]
+    text += "\n\n" + "\n".join(checks)
+    write_report("keyreuse", text)
+
+    benchmark.extra_info.update({
+        "ntp_addrs_per_key": round(ntp.addresses_per_key, 2),
+        "hitlist_addrs_per_key": round(hitlist.addresses_per_key, 2),
+    })
+    assert ntp.addresses_per_key > hitlist.addresses_per_key

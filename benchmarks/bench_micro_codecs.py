@@ -1,0 +1,77 @@
+"""Microbenchmarks of the wire codecs the substrate is built on.
+
+These are the hot paths of every campaign: a four-week collection
+exchanges millions of NTP packets, and every scanned endpoint parses
+and produces protocol messages.  Regressions here directly slow the
+experiments, so the codecs get their own benchmark coverage.
+"""
+
+from repro.ntp.packet import NtpPacket, client_request, server_response
+from repro.proto.coap import CoapMessage, get_request
+from repro.proto.mqtt import ConnackPacket, ConnectPacket
+from repro.proto.ssh import SshIdentification
+from repro.tlslib.certificate import Certificate, issue_public
+from repro.tlslib.handshake import client_hello, parse_client_hello
+
+
+def test_ntp_roundtrip(benchmark):
+    request = client_request(1_000_000.0)
+    wire = request.encode()
+
+    def roundtrip():
+        decoded = NtpPacket.decode(wire)
+        return server_response(decoded, 1_000_000.1, 1_000_000.1).encode()
+
+    result = benchmark(roundtrip)
+    assert len(result) == 48
+
+
+def test_mqtt_connect_roundtrip(benchmark):
+    wire = ConnectPacket(client_id="repro-scan").encode()
+
+    def roundtrip():
+        ConnectPacket.decode(wire)
+        return ConnackPacket(return_code=5).encode()
+
+    assert len(benchmark(roundtrip)) == 4
+
+
+def test_coap_discovery_roundtrip(benchmark):
+    wire = get_request("/.well-known/core", message_id=7).encode()
+
+    def roundtrip():
+        return CoapMessage.decode(wire).uri_path
+
+    assert benchmark(roundtrip) == "/.well-known/core"
+
+
+def test_ssh_banner_parse(benchmark):
+    wire = b"SSH-2.0-OpenSSH_9.2p1 Debian-2+deb12u3\r\n"
+    result = benchmark(SshIdentification.decode, wire)
+    assert result.software == "OpenSSH_9.2p1"
+
+
+def test_certificate_roundtrip(benchmark):
+    cert = issue_public("bench.example.sim")
+    wire = cert.encode()
+
+    def roundtrip():
+        return Certificate.decode(wire).fingerprint
+
+    assert benchmark(roundtrip) == cert.fingerprint
+
+
+def test_client_hello_roundtrip(benchmark):
+    wire = client_hello("bench.example.sim")
+    assert benchmark(parse_client_hello, wire) == "bench.example.sim"
+
+
+def test_levenshtein_clustering(benchmark):
+    from repro.analysis.levenshtein import cluster_counts
+
+    titles = [(f"Plesk Obsidian 18.0.{i}", 5) for i in range(20)]
+    titles += [(f"FRITZ!Box {7000 + i}", 3) for i in range(20)]
+    titles += [(f"Completely distinct page {i:04d}", 1) for i in range(40)]
+
+    groups = benchmark(cluster_counts, titles)
+    assert 2 <= len(groups) <= 45

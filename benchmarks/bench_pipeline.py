@@ -1,0 +1,37 @@
+"""End-to-end pipeline cost: one full (small) study per round."""
+
+from benchmarks.conftest import write_report
+from repro.core.campaign import CampaignConfig
+from repro.core.pipeline import ExperimentConfig, run_experiment
+from repro.report import fmt_int, shape_check
+from repro.world.population import WorldConfig
+
+
+def _small_study():
+    return run_experiment(ExperimentConfig(
+        world=WorldConfig(scale=0.1),
+        campaign=CampaignConfig(days=14, wire_fraction=0.02),
+        rl_days=3, gap_days=3, lead_days=10, final_days=4,
+    ))
+
+
+def test_pipeline_end_to_end(benchmark):
+    result = benchmark.pedantic(_small_study, rounds=3, iterations=1)
+
+    text = (
+        "End-to-end pipeline (scale 0.1, 14 collection days per round)\n"
+        f"  devices simulated:   {fmt_int(len(result.world.devices))}\n"
+        f"  addresses collected: {fmt_int(len(result.ntp_dataset))}\n"
+        f"  targets scanned:     "
+        f"{fmt_int(result.ntp_scan.targets_seen + result.hitlist_scan.targets_seen)}\n"
+    )
+    text += "\n" + shape_check(
+        "full study completes with populated artefacts",
+        len(result.ntp_dataset) > 0 and result.hitlist.full_size > 0)
+    write_report("pipeline_end_to_end", text)
+
+    benchmark.extra_info.update({
+        "devices": len(result.world.devices),
+        "collected": len(result.ntp_dataset),
+    })
+    assert len(result.ntp_dataset) > 0

@@ -1,0 +1,61 @@
+"""Section 5: identifying NTP-sourcing scanners with the telescope."""
+
+from benchmarks.conftest import write_report
+from repro.net.clock import HOUR
+from repro.report import fmt_pct, render_table, shape_check
+
+
+def test_sec5_telescope(telescope_run, benchmark):
+    world, telescope, detector = telescope_run
+    verdicts = benchmark(detector.report)
+
+    rows = []
+    for verdict in verdicts:
+        observation = verdict.observation
+        rows.append([
+            observation.cluster[:34],
+            verdict.kind,
+            len(observation.triggering_servers),
+            len(observation.ports),
+            f"{observation.median_delay / HOUR:.2f} h",
+            f"{observation.median_duration / 60:.0f} min",
+            fmt_pct(observation.sensitive_share, 0),
+        ])
+    text = render_table(
+        ["actor (scanner AS)", "verdict", "servers", "ports",
+         "median delay", "scan duration", "sensitive ports"],
+        rows, title="Section 5 - NTP-sourcing actors seen by the telescope")
+
+    text += (f"\n\nbaits: {len(telescope.baits)}, response rate "
+             f"{fmt_pct(telescope.response_rate())} (paper: 86 %), "
+             f"match rate {fmt_pct(telescope.match_rate())} "
+             "(paper: all packets matched), scatter events: "
+             f"{len(telescope.scatter_events())}")
+
+    kinds = sorted(v.kind for v in verdicts)
+    research = next((v for v in verdicts if v.kind == "research"), None)
+    covert = next((v for v in verdicts if v.kind == "covert"), None)
+    checks = [
+        shape_check("exactly two actors, one research and one covert",
+                    kinds == ["covert", "research"]),
+        shape_check("every inbound packet matched to an NTP query",
+                    telescope.match_rate() == 1.0),
+        shape_check("research actor: 15 servers, reacts within the hour, "
+                    "~10 min per address",
+                    research is not None
+                    and len(research.observation.triggering_servers) == 15
+                    and research.observation.median_delay < HOUR),
+        shape_check("covert actor: multi-day spread, sensitive ports only, "
+                    "cloud-hosted",
+                    covert is not None
+                    and covert.observation.median_delay > 6 * HOUR
+                    and covert.observation.sensitive_share == 1.0),
+    ]
+    text += "\n\n" + "\n".join(checks)
+    write_report("sec5_telescope", text)
+
+    benchmark.extra_info.update({
+        "actors_detected": len(verdicts),
+        "match_rate": telescope.match_rate(),
+    })
+    assert kinds == ["covert", "research"]

@@ -1,0 +1,59 @@
+"""Table 1: distinct IPs / /48s / ASes per dataset, overlaps, densities."""
+
+from benchmarks.conftest import write_report
+from repro.report import fmt_float, fmt_int, render_table, shape_check
+
+
+def test_table1_datasets(experiment, benchmark):
+    table = benchmark(experiment.table1)
+
+    rows = []
+    for summary in table.summaries:
+        rows.append([
+            summary.label,
+            fmt_int(summary.address_count),
+            fmt_int(summary.net48_count),
+            fmt_int(summary.as_count),
+            fmt_float(summary.median_ips_per_48),
+            fmt_float(summary.median_ips_per_as),
+        ])
+    text = render_table(
+        ["dataset", "IP addresses", "/48 networks", "ASes",
+         "median IPs per /48", "median IPs per AS"],
+        rows, title="Table 1 - Number of distinct IPs/networks per dataset")
+    overlap_rows = [
+        [f"ntp ∩ {o.other_label}", fmt_int(o.address_overlap),
+         fmt_int(o.net48_overlap), fmt_int(o.as_overlap)]
+        for o in table.overlaps
+    ]
+    text += "\n\n" + render_table(
+        ["overlap", "addresses", "/48 networks", "ASes"], overlap_rows)
+
+    ntp = table.summary_for("ntp")
+    full = table.summary_for("hitlist-full")
+    public = table.summary_for("hitlist-public")
+    checks = [
+        shape_check("hitlist-full covers more ASes than NTP "
+                    "(paper: 27 488 vs 10 515)",
+                    full.as_count > ntp.as_count),
+        shape_check("NTP /48s denser than hitlist (paper median 5 vs 2/1)",
+                    ntp.median_ips_per_48 > full.median_ips_per_48
+                    >= public.median_ips_per_48),
+        shape_check("NTP ASes denser than hitlist (paper 708.5 vs 86/10)",
+                    ntp.median_ips_per_as > full.median_ips_per_as
+                    > public.median_ips_per_as),
+        shape_check("exact-address overlap small vs /48 overlap substantial",
+                    table.overlap_for("hitlist-full").address_overlap
+                    < table.overlap_for("hitlist-full").net48_overlap * 5),
+    ]
+    text += "\n\n" + "\n".join(checks)
+    write_report("table1_datasets", text)
+
+    benchmark.extra_info.update({
+        "ntp_addresses": ntp.address_count,
+        "hitlist_full_addresses": full.address_count,
+        "ntp_as_count": ntp.as_count,
+        "hitlist_as_count": full.as_count,
+    })
+    assert full.as_count > ntp.as_count
+    assert ntp.median_ips_per_as > full.median_ips_per_as

@@ -1,0 +1,79 @@
+"""Table 3: device-type groups the hitlist misses or underrepresents."""
+
+from benchmarks.conftest import write_report
+from repro.analysis import devicetypes
+from repro.report import fmt_int, render_table, shape_check
+
+
+def test_table3_devices(experiment, benchmark):
+    table = benchmark(devicetypes.build_table3,
+                      experiment.ntp_scan, experiment.hitlist_scan)
+
+    hit_by_group = {g.representative: g.count for g in table.http_hitlist}
+    seen = set()
+    http_rows = []
+    for group in list(table.http_ntp[:10]) + list(table.http_hitlist[:8]):
+        if group.representative in seen:
+            continue
+        seen.add(group.representative)
+        http_rows.append([
+            group.representative[:48],
+            fmt_int(table.http_group_count("ntp", group.representative)),
+            fmt_int(table.http_group_count("hitlist", group.representative)),
+        ])
+    text = render_table(
+        ["HTML title group", "NTP #certs", "hitlist #certs"], http_rows,
+        title="Table 3 (HTTP) - title groups per unique certificate")
+
+    text += "\n\n" + render_table(
+        ["SSH OS", "NTP #keys", "hitlist #keys"],
+        [[os_name, fmt_int(table.ssh_ntp[os_name]),
+          fmt_int(table.ssh_hitlist[os_name])]
+         for os_name in devicetypes.SSH_OS_BUCKETS],
+        title="Table 3 (SSH) - OSes per unique host key")
+
+    text += "\n\n" + render_table(
+        ["CoAP group", "NTP #addrs", "hitlist #addrs"],
+        [[group, fmt_int(table.coap_ntp[group]),
+          fmt_int(table.coap_hitlist[group])]
+         for group in devicetypes.COAP_GROUPS],
+        title="Table 3 (CoAP) - resource groups per address")
+
+    findings = devicetypes.new_or_underrepresented(table)
+    total_new = sum(ntp for ntp, _ in findings.values())
+    fritz_ntp = table.http_group_count("ntp", "FRITZ!Box")
+    fritz_hit = table.http_group_count("hitlist", "FRITZ!Box")
+    checks = [
+        shape_check("FRITZ!Box dominates NTP-side HTTP (paper: 90.8 %)",
+                    table.http_ntp
+                    and "FRITZ!Box" in (table.http_ntp[0].representative,)),
+        shape_check("FRITZ!Box massively underrepresented in hitlist "
+                    "(paper: 257 195 vs 35 841)",
+                    fritz_ntp > 5 * max(1, fritz_hit)),
+        shape_check("D-LINK found only via the hitlist (paper: 0 vs 46 548)",
+                    table.http_group_count("ntp", "D-LINK") == 0
+                    < table.http_group_count("hitlist", "D-LINK")),
+        shape_check("Raspbian found almost only via NTP (paper: 4 765 vs "
+                    "658)", table.ssh_ntp["Raspbian"]
+                    > table.ssh_hitlist["Raspbian"]),
+        shape_check("FreeBSD found almost only via hitlist (paper: 140 vs "
+                    "14 014)", table.ssh_hitlist["FreeBSD"]
+                    > table.ssh_ntp["FreeBSD"]),
+        shape_check("castdevice CoAP endpoints invisible to the hitlist "
+                    "(paper: 2 967 vs 0)",
+                    table.coap_ntp["castdevice"] > 0
+                    == table.coap_hitlist["castdevice"]),
+    ]
+    text += "\n\n" + "\n".join(checks)
+    text += (f"\n\n=> {fmt_int(total_new)} devices in {len(findings)} "
+             "groups missed/underrepresented by the hitlist "
+             "(paper: 283 867 in 6+ groups)")
+    write_report("table3_devices", text)
+
+    benchmark.extra_info.update({
+        "new_or_underrepresented": total_new,
+        "fritz_ntp": fritz_ntp,
+        "fritz_hitlist": fritz_hit,
+    })
+    assert fritz_ntp > 5 * max(1, fritz_hit)
+    assert table.coap_ntp["castdevice"] > 0

@@ -1,0 +1,50 @@
+"""Table 4 (Appendix B): MAC/IP counts per manufacturer OUI."""
+
+from benchmarks.conftest import write_report
+from repro.analysis import macs
+from repro.report import fmt_int, fmt_pct, render_table, shape_check
+
+
+def test_table4_vendors(experiment, benchmark):
+    report = benchmark(macs.analyze_dataset, experiment.ntp_dataset,
+                       experiment.world.oui)
+
+    text = render_table(
+        ["manufacturer", "#MACs", "#IPs"],
+        [[row.vendor[:52], fmt_int(row.mac_count), fmt_int(row.ip_count)]
+         for row in report.top_vendors(20)],
+        title="Table 4 - MAC/IP addresses by manufacturer OUI")
+
+    text += (f"\n\nEUI-64 addresses: {fmt_int(report.eui64_addresses)} of "
+             f"{fmt_int(report.total_addresses)} collected "
+             f"({fmt_pct(report.eui64_share)}; paper: 903 M of 3 040 M), "
+             f"\nwith the 'unique' bit: {fmt_int(report.unique_bit_addresses)}"
+             f" addresses over {fmt_int(report.distinct_unique_macs)} MACs")
+
+    top = report.vendor_rows[0] if report.vendor_rows else None
+    avm_total = sum(row.mac_count for row in report.vendor_rows
+                    if "AVM" in row.vendor)
+    checks = [
+        shape_check("AVM tops the manufacturer ranking (paper: ~2/3 of "
+                    "all assigned MACs)",
+                    top is not None and "AVM" in top.vendor),
+        shape_check("more IPs than MACs (dynamic prefixes re-expose the "
+                    "same interface)", report.unique_bit_addresses
+                    > report.distinct_unique_macs),
+        shape_check("unlisted OUIs present but not dominant (paper rank "
+                    "8 for us vs rank 1 for R&L)",
+                    any(row.vendor == macs.UNLISTED
+                        for row in report.vendor_rows)
+                    and (top is None or top.vendor != macs.UNLISTED)),
+        shape_check("EUI-64 addresses are a minority of the collection",
+                    report.eui64_share < 0.5),
+    ]
+    text += "\n\n" + "\n".join(checks)
+    write_report("table4_vendors", text)
+
+    benchmark.extra_info.update({
+        "eui64_share": round(report.eui64_share, 4),
+        "avm_macs": avm_total,
+        "top_vendor": top.vendor if top else "",
+    })
+    assert top is not None and "AVM" in top.vendor

@@ -1,0 +1,38 @@
+"""Table 7 (Appendix D): addresses collected per NTP server."""
+
+from benchmarks.conftest import write_report
+from repro.report import fmt_int, render_table, shape_check
+
+
+def test_table7_per_server(experiment, benchmark):
+    counts = benchmark(experiment.ntp_dataset.per_server_counts)
+
+    ordered = sorted(counts.items(), key=lambda item: -item[1])
+    text = render_table(
+        ["location", "#addresses"],
+        [[location, fmt_int(count)] for location, count in ordered],
+        title="Table 7 - Number of collected addresses per server")
+
+    spread = ordered[0][1] / max(1, ordered[-1][1])
+    text += (f"\n\nspread: {spread:.0f}x between the busiest and quietest "
+             "server (paper: 2 569 110 445 for India vs 9 093 946 for the "
+             "Netherlands, ~283x)")
+    checks = [
+        shape_check("India collects by far the most (huge client base, "
+                    "near-empty zone)", ordered[0][0] == "India"),
+        shape_check("the Netherlands collects the least (small base, "
+                    "crowded zone)", ordered[-1][0] == "the Netherlands"),
+        shape_check("orders-of-magnitude spread between servers",
+                    spread > 10),
+        shape_check("all 11 deployment servers collected addresses",
+                    len(ordered) == 11),
+    ]
+    text += "\n\n" + "\n".join(checks)
+    write_report("table7_per_server", text)
+
+    benchmark.extra_info.update({
+        "top_location": ordered[0][0],
+        "spread_factor": round(spread, 1),
+    })
+    assert ordered[0][0] == "India"
+    assert spread > 10

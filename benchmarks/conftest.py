@@ -1,0 +1,82 @@
+"""Benchmark fixtures: one full-scale experiment, shared by every bench.
+
+Each bench file regenerates one of the paper's tables or figures from
+the shared experiment, times the analysis under pytest-benchmark, and
+writes the rendered artefact to ``benchmarks/reports/`` with shape
+checks against the paper's qualitative claims.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.actors import NtpSourcingActor, covert_profile, research_profile
+from repro.core.campaign import CampaignConfig, CollectionCampaign
+from repro.core.detection import ActorDetector
+from repro.core.pipeline import ExperimentConfig, run_experiment
+from repro.core.telescope import Telescope
+from repro.net.clock import DAY, EventScheduler
+from repro.world.population import WorldConfig, build_world
+
+#: Scale of the benchmark world (the default paper-shaped world).
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.5"))
+
+REPORT_DIR = os.path.join(os.path.dirname(__file__), "reports")
+
+
+def write_report(name: str, text: str) -> str:
+    """Persist a rendered table/figure next to the benches and echo it."""
+    os.makedirs(REPORT_DIR, exist_ok=True)
+    path = os.path.join(REPORT_DIR, f"{name}.txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text + "\n")
+    print(f"\n{text}\n[report written to {path}]")
+    return path
+
+
+@pytest.fixture(scope="session")
+def experiment():
+    """The full study at benchmark scale (built once per session)."""
+    config = ExperimentConfig(
+        world=WorldConfig(scale=BENCH_SCALE),
+        campaign=CampaignConfig(days=28, wire_fraction=0.02),
+        rl_days=8,
+        gap_days=10,
+        lead_days=21,
+        final_days=7,
+    )
+    return run_experiment(config)
+
+
+@pytest.fixture(scope="session")
+def telescope_run():
+    """A Section-5 world: two third-party actors + a week of telescope."""
+    world = build_world(WorldConfig(scale=0.12))
+    campaign = CollectionCampaign(world, CampaignConfig(days=1,
+                                                        wire_fraction=0.0))
+    scheduler = EventScheduler(world.clock)
+    research_as = next(s for s in world.asdb.systems
+                       if s.category == "Educational/Research")
+    clouds = [s for s in world.asdb.systems
+              if s.name.startswith("HyperCloud")]
+    NtpSourcingActor(
+        world, campaign.pool, scheduler, research_profile("GT"),
+        server_base=world.allocate_prefix64(clouds[0].number),
+        scanner_base=world.allocate_prefix64(research_as.number),
+        zones=["us", "de", "jp", "gb", "fr"], seed=1)
+    NtpSourcingActor(
+        world, campaign.pool, scheduler, covert_profile("covert"),
+        server_base=world.allocate_prefix64(clouds[1].number),
+        scanner_base=world.allocate_prefix64(clouds[2].number),
+        zones=["us", "nl"], seed=2)
+    telescope = Telescope(world.network)
+    for _ in range(7):
+        telescope.sweep(campaign.pool)
+        scheduler.run_until(world.clock.now() + DAY)
+    scheduler.run_until(world.clock.now() + 4 * DAY)
+    detector = ActorDetector(
+        telescope, world.asdb,
+        operator_of_server=lambda a: campaign.pool.server(a).operator)
+    return world, telescope, detector

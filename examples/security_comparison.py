@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Security-posture comparison (paper Section 4.4, Figures 2-3).
+
+Reproduces the paper's security headline: the share of securely
+configured SSH and IoT hosts drops sharply when scanning NTP-sourced
+(end-user) addresses instead of a server-biased hitlist — hitlist-based
+studies *overestimate* how well the IPv6 Internet is maintained.
+
+Run:  python examples/security_comparison.py
+"""
+
+from repro.analysis import keyreuse, security
+from repro.core.campaign import CampaignConfig
+from repro.core.pipeline import ExperimentConfig, run_experiment
+from repro.report import fmt_int, fmt_pct, render_table
+from repro.world import WorldConfig
+
+
+def main() -> None:
+    print("Running the full study pipeline ...")
+    result = run_experiment(ExperimentConfig(
+        world=WorldConfig(scale=0.3),
+        campaign=CampaignConfig(days=28, wire_fraction=0.02),
+        rl_days=0, gap_days=6, lead_days=21, final_days=7,
+        include_rl=False,
+    ))
+    ntp_scan, hitlist_scan = result.ntp_scan, result.hitlist_scan
+
+    # Figure 2: SSH patch levels (Debian-derived hosts, by unique key).
+    rows = []
+    for label, scan in (("NTP-sourced", ntp_scan),
+                        ("TUM-style hitlist", hitlist_scan)):
+        report = security.ssh_outdatedness(label, scan)
+        rows.append([label, fmt_int(report.assessed),
+                     fmt_pct(report.outdated_share),
+                     fmt_int(report.unassessable)])
+    print("\n" + render_table(
+        ["dataset", "assessed keys", "outdated", "patch level hidden"],
+        rows, title="SSH up-to-dateness (Figure 2)"))
+
+    # Figure 3: broker access control.
+    rows = []
+    for protocol in ("mqtt", "amqp"):
+        for label, scan in (("NTP-sourced", ntp_scan),
+                            ("TUM-style hitlist", hitlist_scan)):
+            report = security.broker_access_control(label, scan, protocol)
+            rows.append([protocol.upper(), label, fmt_int(report.total),
+                         fmt_pct(report.access_control_share)])
+    print("\n" + render_table(
+        ["protocol", "dataset", "brokers", "access control enabled"],
+        rows, title="Broker access control (Figure 3)"))
+
+    # The headline.
+    ntp, hitlist = security.security_gap(ntp_scan, hitlist_scan)
+    print(f"\n=> Secure share: {fmt_pct(hitlist.secure_share)} of "
+          f"{fmt_int(hitlist.total)} hitlist-found hosts vs only "
+          f"{fmt_pct(ntp.secure_share)} of {fmt_int(ntp.total)} "
+          "NTP-sourced hosts")
+    print("   (paper: 43.5 % of 854 704 vs 28.4 % of 73 975)")
+
+    # Section 6: key/certificate reuse.
+    print("\nKey & certificate reuse across >2 ASes (Section 6):")
+    for label, scan in (("NTP-sourced", ntp_scan),
+                        ("hitlist", hitlist_scan)):
+        report = keyreuse.analyze(label, scan, result.world.asdb)
+        most = report.most_used
+        line = (f"  {label:12s} {report.reused_key_count:4d} reused keys "
+                f"covering {fmt_int(report.total_reused_addresses)} addresses"
+                f" ({report.addresses_per_key:.1f} addrs/key)")
+        if most is not None:
+            line += (f"; most-used key: {fmt_int(most.addresses)} addrs "
+                     f"in {most.ases} ASes")
+        print(line)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""Reproduction of "Time To Scan: Digging into NTP-based IPv6 Scanning"
+(IMC 2025).
+
+The package implements the paper's full measurement pipeline over a
+simulated Internet: NTP-pool-based IPv6 address sourcing, real-time
+multi-protocol application scanning, hitlist comparison, security
+analyses, and detection of third-party NTP-sourcing scanners.
+
+Quickstart::
+
+    from repro import run_experiment, ExperimentConfig
+    from repro.world import WorldConfig
+
+    result = run_experiment(ExperimentConfig(world=WorldConfig(scale=0.2)))
+    print(result.table1())
+"""
+
+from repro.core.pipeline import ExperimentConfig, ExperimentResult, run_experiment
+
+__version__ = "1.0.0"
+
+__all__ = ["ExperimentConfig", "ExperimentResult", "run_experiment", "__version__"]

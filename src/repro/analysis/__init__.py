@@ -1,0 +1,55 @@
+"""The paper's analyses: structure, device types, security, MACs, reuse."""
+
+from repro.analysis import (
+    aggregate,
+    aliases,
+    devicetypes,
+    fingerprint,
+    keyreuse,
+    levenshtein,
+    lifetime,
+    macs,
+    security,
+    structure,
+)
+from repro.analysis.devicetypes import DeviceTypeTable, build_table3
+from repro.analysis.levenshtein import TitleClusterer, normalized_distance
+from repro.analysis.macs import MacReport, analyze_dataset
+from repro.analysis.security import (
+    AccessControlReport,
+    OutdatednessReport,
+    SecureShareReport,
+    broker_access_control,
+    secure_share,
+    security_gap,
+    ssh_outdatedness,
+)
+from repro.analysis.structure import StructureReport, analyze
+
+__all__ = [
+    "AccessControlReport",
+    "DeviceTypeTable",
+    "MacReport",
+    "OutdatednessReport",
+    "SecureShareReport",
+    "StructureReport",
+    "TitleClusterer",
+    "aggregate",
+    "aliases",
+    "analyze",
+    "analyze_dataset",
+    "broker_access_control",
+    "build_table3",
+    "devicetypes",
+    "fingerprint",
+    "keyreuse",
+    "levenshtein",
+    "lifetime",
+    "macs",
+    "normalized_distance",
+    "secure_share",
+    "security",
+    "security_gap",
+    "ssh_outdatedness",
+    "structure",
+]

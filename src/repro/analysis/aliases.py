@@ -1,0 +1,89 @@
+"""Aliased-prefix detection (the TUM hitlist's dealiasing step).
+
+Some /64s answer on *every* address — CDN edges, load balancers,
+firewall tarpits.  Left unfiltered they flood responsive-address lists
+with pseudo-hosts, which is why the TUM hitlist detects and publishes
+aliased prefixes separately (Gasser et al., IMC'18).
+
+Detection follows their approach: probe several pseudo-random interface
+identifiers inside a candidate /64; if every probe answers, the prefix
+is aliased with overwhelming probability (a real subnet with a handful
+of hosts would need an absurd coincidence to cover all random picks).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.ipv6 import address as addrmod
+from repro.net.simnet import Network
+
+#: Random probes per candidate /64.
+DEFAULT_PROBES = 3
+
+#: TCP port used for detection probes (HTTP answers everywhere relevant).
+PROBE_PORT = 80
+
+
+def is_aliased(network: Network, source: int, prefix64: int, *,
+               probes: int = DEFAULT_PROBES,
+               rng: Optional[random.Random] = None) -> bool:
+    """Probe ``probes`` random addresses of a /64; aliased iff all answer."""
+    if probes <= 0:
+        raise ValueError(f"probes must be positive, got {probes}")
+    chooser = rng or random.Random(prefix64 & 0xFFFFFFFF)
+    base = addrmod.prefix(prefix64, 64)
+    for _ in range(probes):
+        iid = chooser.getrandbits(64) | 1  # never the base address
+        stream = network.tcp_connect(source, addrmod.with_iid(base, iid),
+                                     PROBE_PORT)
+        if stream is None:
+            return False
+        stream.close()
+    return True
+
+
+@dataclass(frozen=True)
+class AliasReport:
+    """Outcome of dealiasing an address set."""
+
+    kept: frozenset
+    aliased_prefixes: frozenset  # /64 base addresses
+    removed: int
+
+    @property
+    def aliased_count(self) -> int:
+        return len(self.aliased_prefixes)
+
+
+def filter_aliased(network: Network, source: int,
+                   addresses: Iterable[int], *,
+                   min_cluster: int = 2,
+                   probes: int = DEFAULT_PROBES,
+                   rng: Optional[random.Random] = None) -> AliasReport:
+    """Remove addresses living inside aliased /64s.
+
+    Only /64s holding at least ``min_cluster`` addresses are tested
+    (single-address subnets cannot inflate a list, and probing every
+    /64 would itself be a scan campaign).
+    """
+    by_prefix: Dict[int, List[int]] = defaultdict(list)
+    materialized = list(addresses)
+    for value in materialized:
+        by_prefix[addrmod.prefix(value, 64)].append(value)
+    aliased: Set[int] = set()
+    for prefix64, members in by_prefix.items():
+        if len(members) < min_cluster:
+            continue
+        if is_aliased(network, source, prefix64, probes=probes, rng=rng):
+            aliased.add(prefix64)
+    kept = frozenset(value for value in materialized
+                     if addrmod.prefix(value, 64) not in aliased)
+    return AliasReport(
+        kept=kept,
+        aliased_prefixes=frozenset(aliased),
+        removed=len(materialized) - len(kept),
+    )

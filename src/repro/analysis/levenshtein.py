@@ -1,0 +1,135 @@
+"""Normalized Levenshtein distance and greedy title clustering.
+
+The paper groups HTML page titles "if their Levenshtein distance
+normalized to 0–1 is at most 0.25", collapsing minor version-number
+variations into one device-type group (Section 4.3.1).  We implement
+the classic dynamic-programming distance with an early-exit band and a
+greedy centroid clustering on top.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: The paper's grouping threshold on normalized distance.
+DEFAULT_THRESHOLD = 0.25
+
+
+def distance(left: str, right: str) -> int:
+    """Plain Levenshtein edit distance (insert/delete/substitute)."""
+    if left == right:
+        return 0
+    if not left:
+        return len(right)
+    if not right:
+        return len(left)
+    if len(left) < len(right):
+        left, right = right, left
+    previous = list(range(len(right) + 1))
+    for row, char_left in enumerate(left, start=1):
+        current = [row]
+        for col, char_right in enumerate(right, start=1):
+            cost = 0 if char_left == char_right else 1
+            current.append(min(
+                previous[col] + 1,        # deletion
+                current[col - 1] + 1,     # insertion
+                previous[col - 1] + cost  # substitution
+            ))
+        previous = current
+    return previous[-1]
+
+
+def normalized_distance(left: str, right: str) -> float:
+    """Distance scaled into [0, 1] by the longer string's length.
+
+    Two empty strings are identical (0.0).
+    """
+    longest = max(len(left), len(right))
+    if longest == 0:
+        return 0.0
+    return distance(left, right) / longest
+
+
+def within(left: str, right: str,
+           threshold: float = DEFAULT_THRESHOLD) -> bool:
+    """Whether two strings belong to the same group.
+
+    Uses the length-difference lower bound to skip the O(n·m) table
+    for clearly different strings.
+    """
+    longest = max(len(left), len(right))
+    if longest == 0:
+        return True
+    if abs(len(left) - len(right)) / longest > threshold:
+        return False
+    return normalized_distance(left, right) <= threshold
+
+
+@dataclass
+class TitleGroup:
+    """One cluster of near-identical titles."""
+
+    representative: str
+    members: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def count(self) -> int:
+        return sum(self.members.values())
+
+    def add(self, title: str, count: int = 1) -> None:
+        self.members[title] = self.members.get(title, 0) + count
+
+
+class TitleClusterer:
+    """Greedy centroid clustering under the normalized threshold.
+
+    Items are matched against existing representatives in insertion
+    order; the representative is the group's first (and, fed in
+    frequency order, most common) title — matching how the paper labels
+    groups by their dominant title.
+    """
+
+    def __init__(self, threshold: float = DEFAULT_THRESHOLD) -> None:
+        if not 0.0 <= threshold <= 1.0:
+            raise ValueError(f"threshold must be in [0, 1], got {threshold}")
+        self.threshold = threshold
+        self.groups: List[TitleGroup] = []
+        #: exact-title fast path: title -> group
+        self._assignments: Dict[str, TitleGroup] = {}
+
+    def add(self, title: str, count: int = 1) -> TitleGroup:
+        """Assign a title (with multiplicity) to its group."""
+        group = self._assignments.get(title)
+        if group is None:
+            for candidate in self.groups:
+                if within(title, candidate.representative, self.threshold):
+                    group = candidate
+                    break
+            if group is None:
+                group = TitleGroup(representative=title)
+                self.groups.append(group)
+            self._assignments[title] = group
+        group.add(title, count)
+        return group
+
+    def add_all(self, titles: Iterable[str]) -> None:
+        for title in titles:
+            self.add(title)
+
+    def top(self, n: int = 10) -> List[TitleGroup]:
+        """Largest groups first."""
+        return sorted(self.groups, key=lambda group: -group.count)[:n]
+
+    def group_of(self, title: str) -> Optional[TitleGroup]:
+        """The group a title was assigned to, if any."""
+        return self._assignments.get(title)
+
+
+def cluster_counts(titles: Iterable[Tuple[str, int]],
+                   threshold: float = DEFAULT_THRESHOLD) -> List[TitleGroup]:
+    """Cluster pre-counted titles, feeding most frequent first."""
+    clusterer = TitleClusterer(threshold)
+    for title, count in sorted(titles, key=lambda item: -item[1]):
+        clusterer.add(title, count)
+    return sorted(clusterer.groups, key=lambda group: -group.count)

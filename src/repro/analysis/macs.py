@@ -1,0 +1,149 @@
+"""EUI-64 / MAC / vendor analysis (Appendix B, Table 4, Figure 4).
+
+Extracts embedded MAC addresses from a collected dataset, filters for
+the universally-administered ("unique") bit, resolves OUIs against the
+vendor registry, and ranks manufacturers by distinct MACs and by the
+IP addresses carrying them.  Figure 4's view — which capture-server
+locations saw which MAC classes — uses the dataset's per-server index.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.core.collector import CollectedDataset
+from repro.ipv6 import eui64
+from repro.ipv6.oui import OuiRegistry
+
+#: Vendor label for OUIs missing from the registry.
+UNLISTED = "(Unlisted)"
+
+#: Figure 4's MAC classes.
+MAC_CLASSES = ("listed", "unlisted-unique", "local")
+
+
+@dataclass(frozen=True)
+class VendorRow:
+    """One row of Table 4."""
+
+    vendor: str
+    mac_count: int
+    ip_count: int
+
+
+@dataclass(frozen=True)
+class MacReport:
+    """The complete Appendix-B summary for one dataset."""
+
+    total_addresses: int
+    eui64_addresses: int
+    distinct_eui64_iids: int
+    unique_bit_addresses: int
+    distinct_unique_macs: int
+    listed_macs: int
+    listed_ips: int
+    vendor_rows: Tuple[VendorRow, ...]
+
+    @property
+    def eui64_share(self) -> float:
+        if self.total_addresses == 0:
+            return 0.0
+        return self.eui64_addresses / self.total_addresses
+
+    def top_vendors(self, n: int = 20) -> Tuple[VendorRow, ...]:
+        return self.vendor_rows[:n]
+
+    def vendor(self, name: str) -> Optional[VendorRow]:
+        for row in self.vendor_rows:
+            if row.vendor == name:
+                return row
+        return None
+
+
+def analyze_addresses(addresses: Iterable[int],
+                      registry: OuiRegistry) -> MacReport:
+    """Compute Table 4 over a plain address iterable."""
+    total = 0
+    eui64_addresses = 0
+    iids: set = set()
+    unique_bit_addresses = 0
+    unique_macs: set = set()
+    mac_ips: Counter = Counter()  # vendor -> ip count
+    vendor_macs: Dict[str, set] = defaultdict(set)
+    for value in addresses:
+        total += 1
+        mac = eui64.extract_mac(value)
+        if mac is None:
+            continue
+        eui64_addresses += 1
+        iids.add(value & ((1 << 64) - 1))
+        if not eui64.is_universal(mac) or eui64.is_multicast(mac):
+            continue
+        unique_bit_addresses += 1
+        unique_macs.add(mac)
+        vendor = registry.lookup_mac(mac)
+        name = vendor.name if vendor else UNLISTED
+        mac_ips[name] += 1
+        vendor_macs[name].add(mac)
+    rows = sorted(
+        (VendorRow(vendor=name, mac_count=len(macs),
+                   ip_count=mac_ips[name])
+         for name, macs in vendor_macs.items()),
+        key=lambda row: -row.mac_count,
+    )
+    listed_macs = sum(row.mac_count for row in rows if row.vendor != UNLISTED)
+    listed_ips = sum(row.ip_count for row in rows if row.vendor != UNLISTED)
+    return MacReport(
+        total_addresses=total,
+        eui64_addresses=eui64_addresses,
+        distinct_eui64_iids=len(iids),
+        unique_bit_addresses=unique_bit_addresses,
+        distinct_unique_macs=len(unique_macs),
+        listed_macs=listed_macs,
+        listed_ips=listed_ips,
+        vendor_rows=tuple(rows),
+    )
+
+
+def analyze_dataset(dataset: CollectedDataset,
+                    registry: OuiRegistry) -> MacReport:
+    """Table 4 over a collection campaign's dataset."""
+    return analyze_addresses(dataset.iter_addresses(), registry)
+
+
+def classify_mac_address(value: int, registry: OuiRegistry) -> Optional[str]:
+    """Figure 4's class of one address (None for non-EUI-64)."""
+    mac = eui64.extract_mac(value)
+    if mac is None:
+        return None
+    if not eui64.is_universal(mac):
+        return "local"
+    if registry.lookup_mac(mac) is not None:
+        return "listed"
+    return "unlisted-unique"
+
+
+def server_location_distribution(dataset: CollectedDataset,
+                                 registry: OuiRegistry) -> Dict[str, Dict[str, float]]:
+    """Figure 4: per MAC class, the share each server location collected.
+
+    Returns ``{mac_class: {location: share}}`` with shares summing to 1
+    within each class (addresses seen by several servers count for
+    each, as in the paper's stacked view).
+    """
+    counts: Dict[str, Counter] = {cls: Counter() for cls in MAC_CLASSES}
+    for location, addresses in dataset.per_server.items():
+        for value in addresses:
+            mac_class = classify_mac_address(value, registry)
+            if mac_class is not None:
+                counts[mac_class][location] += 1
+    shares: Dict[str, Dict[str, float]] = {}
+    for mac_class, counter in counts.items():
+        total = sum(counter.values())
+        shares[mac_class] = (
+            {loc: count / total for loc, count in counter.items()}
+            if total else {}
+        )
+    return shares

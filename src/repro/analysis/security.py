@@ -1,0 +1,190 @@
+"""Security-configuration analyses (Section 4.4, Figures 2–3).
+
+* **SSH up-to-dateness** — Debian-derived servers expose their package
+  patch level in the banner; any non-latest level counts as outdated
+  (stable updates only ship security/important fixes).  Counted per
+  unique host key.
+* **Broker access control** — an MQTT CONNACK 0 to an anonymous
+  CONNECT, or an AMQP Tune after an ANONYMOUS Start-Ok, marks the
+  broker *open*; refusals mark it access-controlled.
+* **Combined secure share** — the paper's headline (43.5 % of hitlist
+  hosts vs 28.4 % of NTP-sourced hosts appear secure): up-to-date SSH
+  servers and access-controlled brokers over all assessable hosts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.data.ssh_releases import is_outdated
+from repro.proto.ssh import SshIdentification, debian_patch_level
+from repro.scan.result import BrokerGrab, ScanResults, SshGrab
+
+
+# -- SSH up-to-dateness (Figure 2) ---------------------------------------
+
+@dataclass(frozen=True)
+class OutdatednessReport:
+    """Figure 2's bar for one dataset."""
+
+    label: str
+    assessed: int
+    outdated: int
+    #: Hosts whose banner hides the patch level (excluded, as in paper).
+    unassessable: int
+
+    @property
+    def outdated_share(self) -> float:
+        return self.outdated / self.assessed if self.assessed else 0.0
+
+    @property
+    def up_to_date(self) -> int:
+        return self.assessed - self.outdated
+
+
+def _grab_outdated(grab: SshGrab) -> Optional[bool]:
+    """Outdated verdict for one grab; None when not assessable."""
+    if not grab.ok or grab.banner is None:
+        return None
+    identification = SshIdentification(
+        protocol="2.0", software=grab.software or "", comment=grab.comment,
+    )
+    parsed = debian_patch_level(identification)
+    if parsed is None:
+        return None
+    upstream, patch = parsed
+    distro = (grab.comment or "").split("-", 1)[0]
+    return is_outdated(distro, upstream, patch)
+
+
+def ssh_outdatedness(label: str, results: ScanResults,
+                     by_key: bool = True) -> OutdatednessReport:
+    """Assess SSH patch levels, deduplicated by host key (default).
+
+    With ``by_key=False`` every responsive address counts separately —
+    the Appendix C (Figure 5) view, where key reuse inflates outdated
+    hosts.
+    """
+    assessed = outdated = unassessable = 0
+    seen_keys: set = set()
+    for grab in results.ssh:
+        if not grab.ok:
+            continue
+        if by_key:
+            if grab.key_fingerprint is None or grab.key_fingerprint in seen_keys:
+                continue
+            seen_keys.add(grab.key_fingerprint)
+        verdict = _grab_outdated(grab)
+        if verdict is None:
+            unassessable += 1
+            continue
+        assessed += 1
+        if verdict:
+            outdated += 1
+    return OutdatednessReport(label=label, assessed=assessed,
+                              outdated=outdated, unassessable=unassessable)
+
+
+# -- broker access control (Figure 3) -------------------------------------
+
+@dataclass(frozen=True)
+class AccessControlReport:
+    """Figure 3's bars for one (protocol, dataset) pair."""
+
+    label: str
+    protocol: str
+    open_count: int
+    controlled: int
+    unknown: int
+
+    @property
+    def total(self) -> int:
+        return self.open_count + self.controlled
+
+    @property
+    def access_control_share(self) -> float:
+        return self.controlled / self.total if self.total else 0.0
+
+    @property
+    def open_share(self) -> float:
+        return self.open_count / self.total if self.total else 0.0
+
+
+def broker_access_control(label: str, results: ScanResults,
+                          protocol: str,
+                          include_tls_variant: bool = True,
+                          by_network: Optional[int] = None) -> AccessControlReport:
+    """Classify broker deployments of one protocol family.
+
+    Deduplicates by address (or by ``/by_network`` prefix for the
+    Appendix C view); the TLS variant's grabs are merged in by default,
+    as the paper reports one MQTT and one AMQP figure.
+    """
+    grabs: List[BrokerGrab] = list(results.grabs(protocol))
+    if include_tls_variant:
+        grabs += list(results.grabs(protocol + "s"))
+    open_count = controlled = unknown = 0
+    seen: set = set()
+    for grab in grabs:
+        if not grab.ok:
+            continue
+        key = grab.address if by_network is None else \
+            grab.address >> (128 - by_network)
+        if key in seen:
+            continue
+        seen.add(key)
+        if grab.open_access is None:
+            unknown += 1
+        elif grab.open_access:
+            open_count += 1
+        else:
+            controlled += 1
+    return AccessControlReport(label=label, protocol=protocol,
+                               open_count=open_count, controlled=controlled,
+                               unknown=unknown)
+
+
+# -- the combined headline -------------------------------------------------
+
+@dataclass(frozen=True)
+class SecureShareReport:
+    """The 43.5 % → 28.4 % comparison input for one dataset."""
+
+    label: str
+    ssh_assessed: int
+    ssh_secure: int
+    brokers_total: int
+    brokers_secure: int
+
+    @property
+    def total(self) -> int:
+        return self.ssh_assessed + self.brokers_total
+
+    @property
+    def secure(self) -> int:
+        return self.ssh_secure + self.brokers_secure
+
+    @property
+    def secure_share(self) -> float:
+        return self.secure / self.total if self.total else 0.0
+
+
+def secure_share(label: str, results: ScanResults) -> SecureShareReport:
+    """Combined SSH + IoT-broker security posture of one dataset."""
+    ssh_report = ssh_outdatedness(label, results, by_key=True)
+    mqtt_report = broker_access_control(label, results, "mqtt")
+    amqp_report = broker_access_control(label, results, "amqp")
+    return SecureShareReport(
+        label=label,
+        ssh_assessed=ssh_report.assessed,
+        ssh_secure=ssh_report.up_to_date,
+        brokers_total=mqtt_report.total + amqp_report.total,
+        brokers_secure=mqtt_report.controlled + amqp_report.controlled,
+    )
+
+
+def security_gap(ntp: ScanResults, hitlist: ScanResults) -> Tuple[
+        SecureShareReport, SecureShareReport]:
+    """The paper's headline pair: (NTP report, hitlist report)."""
+    return secure_share("ntp", ntp), secure_share("hitlist", hitlist)

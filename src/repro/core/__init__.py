@@ -1,0 +1,59 @@
+"""The paper's contribution: NTP-based sourcing, real-time scanning,
+dataset comparison, and scanner detection."""
+
+from repro.core.actors import (
+    COVERT_PORTS,
+    ActorProfile,
+    NtpSourcingActor,
+    covert_profile,
+    research_ports,
+    research_profile,
+)
+from repro.core.campaign import (
+    CampaignConfig,
+    CampaignReport,
+    CollectionCampaign,
+    rl_2022_config,
+)
+from repro.core.collector import AddressObservation, CaptureServer, CollectedDataset
+from repro.core.comparison import (
+    ComparisonTable,
+    DatasetComparison,
+    DatasetSummary,
+    OverlapSummary,
+)
+from repro.core.detection import ActorDetector, ActorObservation, ActorVerdict
+from repro.core.pipeline import ExperimentConfig, ExperimentResult, run_experiment
+from repro.core.realtime import RealTimeScanQueue, RealTimeStats
+from repro.core.telescope import BaitRecord, InboundEvent, Telescope
+
+__all__ = [
+    "ActorDetector",
+    "ActorObservation",
+    "ActorProfile",
+    "ActorVerdict",
+    "AddressObservation",
+    "BaitRecord",
+    "COVERT_PORTS",
+    "CampaignConfig",
+    "CampaignReport",
+    "CaptureServer",
+    "CollectedDataset",
+    "CollectionCampaign",
+    "ComparisonTable",
+    "DatasetComparison",
+    "DatasetSummary",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "InboundEvent",
+    "NtpSourcingActor",
+    "OverlapSummary",
+    "RealTimeScanQueue",
+    "RealTimeStats",
+    "Telescope",
+    "covert_profile",
+    "research_ports",
+    "research_profile",
+    "rl_2022_config",
+    "run_experiment",
+]

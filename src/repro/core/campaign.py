@@ -1,0 +1,295 @@
+"""The collection campaign: pool deployment + day-driven client traffic.
+
+This reproduces Section 3's methodology end to end:
+
+1. deploy capture servers into the pool zones of the 11 study countries
+   (competing against the zones' existing servers, whose density is the
+   placement criterion);
+2. let the world's NTP clients synchronize for the collection window,
+   capturing every client address that reaches one of our servers;
+3. optionally feed each first-sighted address into the real-time scan
+   queue.
+
+Client traffic runs day-by-day: churn advances first, then every NTP
+client re-resolves the pool a few times (as real ntpd does when its
+server set ages out) and spreads its day's polls across the resolved
+servers.  A configurable fraction of devices exercises the full wire
+path — real mode-3/mode-4 packets through the simulated network — while
+the rest uses the statistically identical fast path, keeping large
+worlds tractable.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.collector import CaptureServer, CollectedDataset
+from repro.core.realtime import RealTimeScanQueue
+from repro.ipv6 import address as addrmod
+from repro.net.clock import DAY
+from repro.ntp.client import NtpClient
+from repro.ntp.pool import NtpPool
+from repro.ntp.server import NtpServer
+from repro.world.geo import DEPLOYMENT_COUNTRIES
+from repro.world.population import World
+
+
+@dataclass
+class CampaignConfig:
+    """Parameters of one collection campaign."""
+
+    label: str = "ntp"
+    days: int = 28
+    #: Countries receiving one capture server each.
+    deployment: Tuple[str, ...] = DEPLOYMENT_COUNTRIES
+    #: Our servers' operator-configured pool weight (the paper raises
+    #: this until the request rate matches the scan budget).
+    netspeed: int = 4000
+    #: Background (non-capture) pool members' weight.
+    background_netspeed: int = 1000
+    #: Times per day a client re-resolves the pool DNS.
+    resolutions_per_day: int = 4
+    #: Fraction of devices whose every resolution does a real wire
+    #: round trip (full codec + capture hook).
+    wire_fraction: float = 0.02
+    #: Run the pool's health monitoring once per collection day, so
+    #: failed members drop out of rotation mid-campaign.
+    monitor_daily: bool = False
+    #: Fraction of background pool members that are dead or flaky
+    #: (registered but unresponsive).  The real pool always carries
+    #: some: the paper's telescope saw only ~86 % of queries answered.
+    background_dead_rate: float = 0.12
+    seed: int = 0xC0FFEE
+
+
+@dataclass
+class CampaignReport:
+    """Outcome of a campaign run."""
+
+    dataset: CollectedDataset
+    days_run: int
+    wire_queries: int
+    fast_queries: int
+    per_server_requests: Dict[str, int] = field(default_factory=dict)
+
+
+class CollectionCampaign:
+    """Owns the pool deployment and drives the collection window."""
+
+    def __init__(self, world: World, config: Optional[CampaignConfig] = None,
+                 scan_queue: Optional[RealTimeScanQueue] = None) -> None:
+        self.world = world
+        self.config = config or CampaignConfig()
+        self.rng = random.Random(self.config.seed)
+        self.dataset = CollectedDataset(label=self.config.label)
+        if scan_queue is not None:
+            scan_queue.attach(self.dataset)
+        self.scan_queue = scan_queue
+        self.pool = NtpPool(
+            world.network, rng=random.Random(self.config.seed ^ 1),
+            monitor_address=self._infrastructure_prefix(0xFFFF),
+        )
+        self.capture_servers: Dict[int, CaptureServer] = {}
+        self._capture_locations: Dict[int, str] = {}
+        self._background_servers: List[NtpServer] = []
+        self._deploy()
+        self.wire_queries = 0
+        self.fast_queries = 0
+
+    # -- deployment -------------------------------------------------------
+
+    def _infrastructure_prefix(self, index: int) -> int:
+        """Address space for NTP infrastructure (outside the world's ASes).
+
+        Disambiguated per campaign label so that consecutive campaigns
+        (e.g. the R&L 2022 profile followed by ours) never collide.
+        """
+        base = addrmod.parse("2001:500::")
+        campaign_id = sum(self.config.label.encode()) & 0xFFFF
+        return base + (campaign_id << 80) + (index << 64)
+
+    def _deploy(self) -> None:
+        """Register background zone members, then our capture servers.
+
+        Following the paper's ethics (Appendix A.1.1) we never deploy
+        into an *empty* zone: countries with zero competing servers are
+        served by the global rotation and our server joins the zone
+        only if it already has members.
+        """
+        index = 0
+        for country in self.world.geo.countries:
+            for _ in range(country.competing_servers):
+                address = self._infrastructure_prefix(index)
+                index += 1
+                if self.rng.random() >= self.config.background_dead_rate:
+                    server = NtpServer(self.world.network, address,
+                                       location=f"bg-{country.code}")
+                    self._background_servers.append(server)
+                # Dead members stay registered (the pool's DNS hands
+                # them out until monitoring catches up) but answer
+                # nothing — clients simply lose those polls.
+                self.pool.register(address, country.code.lower(),
+                                   netspeed=self.config.background_netspeed,
+                                   operator="background")
+        for code in self.config.deployment:
+            country = self.world.geo.country(code)
+            if country.competing_servers == 0:
+                continue  # refuse to fill an empty zone
+            address = self._infrastructure_prefix(index)
+            index += 1
+            capture = CaptureServer(self.world.network, address,
+                                    location=country.name,
+                                    dataset=self.dataset)
+            self.capture_servers[address] = capture
+            self._capture_locations[address] = country.name
+            self.pool.register(address, code.lower(),
+                               netspeed=self.config.netspeed,
+                               operator="study")
+
+    def deregister_all(self) -> None:
+        """De-advertise our servers (the wind-down grace period)."""
+        for address in self.capture_servers:
+            self.pool.deregister(address)
+
+    # -- the collection window ----------------------------------------------
+
+    def start(self) -> None:
+        """Freeze the client roster and wire sample; idempotent."""
+        if getattr(self, "_started", False):
+            return
+        self._started = True
+        self._days_run = 0
+        self._clients = self.world.ntp_clients()
+        self._wire_devices = {
+            id(device) for device in self._clients
+            if self.rng.random() < self.config.wire_fraction
+        }
+
+    def advance_days(self, days: int) -> None:
+        """Run ``days`` more collection days (interleavable with other
+        activity, e.g. the hitlist scan during the final week)."""
+        self.start()
+        for _ in range(days):
+            day_start = self.world.clock.now()
+            if self._days_run > 0:
+                self.world.churn.step_day()
+            if self.config.monitor_daily:
+                self.pool.run_monitor()
+            self._run_day(day_start, self._clients, self._wire_devices)
+            self.world.clock.advance_to(day_start + DAY)
+            self._days_run += 1
+
+    # -- operator weight tuning (paper Section 3.1) --------------------------
+
+    def autotune_netspeed(self, target_daily_requests: int, *,
+                          max_days: int = 6, factor: float = 2.0,
+                          ceiling: int = 1_000_000) -> List[Dict[str, int]]:
+        """Raise our servers' netspeed until the request rate fits the
+        scan budget.
+
+        Mirrors the paper's ramp-up: "we monitor the number of requests
+        and increase our servers' operator-configurable weight in the
+        NTP Pool until reaching, at peak times, a request rate close to
+        our maximum scanning rate."  Each tuning round costs one
+        collection day (observed rates come from real traffic).
+        Returns the per-round log of observed totals and weights.
+        """
+        if target_daily_requests <= 0:
+            raise ValueError("target_daily_requests must be positive")
+        log: List[Dict[str, int]] = []
+        for _ in range(max_days):
+            before = {address: server.stats.requests
+                      for address, server in self.capture_servers.items()}
+            self.advance_days(1)
+            observed = sum(
+                server.stats.requests - before[address]
+                for address, server in self.capture_servers.items())
+            entry = {
+                "observed_requests": observed,
+                "netspeed": self.pool.server(
+                    next(iter(self.capture_servers))).netspeed,
+            }
+            log.append(entry)
+            if observed >= target_daily_requests:
+                break
+            for address in self.capture_servers:
+                current = self.pool.server(address).netspeed
+                self.pool.set_netspeed(
+                    address, min(ceiling, int(current * factor)))
+        return log
+
+    def report(self) -> CampaignReport:
+        """Summarize everything collected so far."""
+        return CampaignReport(
+            dataset=self.dataset,
+            days_run=getattr(self, "_days_run", 0),
+            wire_queries=self.wire_queries,
+            fast_queries=self.fast_queries,
+            per_server_requests={
+                server.location: server.stats.requests
+                for server in self.capture_servers.values()
+            },
+        )
+
+    def run(self) -> CampaignReport:
+        """Run the configured number of days; returns the report."""
+        self.start()
+        self.advance_days(self.config.days)
+        return self.report()
+
+    def _run_day(self, day_start: float, clients, wire_devices) -> None:
+        events = [(self.rng.random() * DAY, device) for device in clients]
+        events.sort(key=lambda event: event[0])
+        resolutions = self.config.resolutions_per_day
+        for offset, device in events:
+            self.world.clock.advance_to(max(day_start + offset,
+                                            self.world.clock.now()))
+            polls = max(1, round(DAY / device.ntp_interval))
+            share = max(1, polls // resolutions)
+            for _ in range(min(resolutions, polls)):
+                server_address = self.pool.resolve(device.country.lower(),
+                                                   self.rng)
+                if server_address is None:
+                    continue
+                capture = self.capture_servers.get(server_address)
+                if capture is None:
+                    continue  # a background server absorbed these polls
+                if id(device) in wire_devices:
+                    client = NtpClient(self.world.network, device.address)
+                    result = client.query(server_address)
+                    self.wire_queries += 1
+                    if result is not None and share > 1:
+                        capture.record_direct(device.address,
+                                              self.world.clock.now(),
+                                              requests=share - 1)
+                        self.fast_queries += share - 1
+                else:
+                    capture.record_direct(device.address,
+                                          self.world.clock.now(),
+                                          requests=share)
+                    self.fast_queries += share
+
+
+def rl_2022_config(days: int = 14, seed: int = 0x2022) -> CampaignConfig:
+    """A Rye-&-Levin-style deployment profile.
+
+    R&L ran 27 servers for seven months with a different (undisclosed)
+    placement.  For the Table 1 overlap rows we run this profile on the
+    same world *before* our campaign: more servers, default weights, a
+    placement covering many zones.  The world churns on between the two
+    campaigns, so the overlap is structural, not total.
+    """
+    return CampaignConfig(
+        label="rl2022",
+        days=days,
+        deployment=(
+            "US", "US", "US", "DE", "DE", "GB", "FR", "NL", "SE", "CH",
+            "JP", "JP", "AU", "BR", "IN", "ES", "IT", "PL", "CA", "MX",
+            "KR", "ZA", "TH", "AR", "ID", "VN", "EG",
+        ),
+        netspeed=1000,
+        wire_fraction=0.0,
+        seed=seed,
+    )

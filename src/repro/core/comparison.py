@@ -1,0 +1,139 @@
+"""Dataset comparison — the machinery behind Table 1.
+
+Compares address sets (our NTP collection, an R&L-style collection,
+and the TUM-like hitlist variants) on the metrics the paper reports:
+distinct addresses, covering /48 networks and ASes, pairwise overlaps,
+and median address density per /48 and per AS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.ipv6 import address as addrmod
+from repro.ipv6.aggregation import GroupedDensity
+from repro.world.asdb import AsDatabase
+
+
+@dataclass(frozen=True)
+class DatasetSummary:
+    """One column of Table 1."""
+
+    label: str
+    address_count: int
+    net48_count: int
+    as_count: int
+    median_ips_per_48: float
+    median_ips_per_as: float
+
+
+@dataclass(frozen=True)
+class OverlapSummary:
+    """Overlap rows between a reference dataset and another."""
+
+    other_label: str
+    address_overlap: int
+    net48_overlap: int
+    as_overlap: int
+
+
+class DatasetComparison:
+    """Computes Table 1 for any number of labelled address sets."""
+
+    def __init__(self, asdb: AsDatabase) -> None:
+        self.asdb = asdb
+        self._sets: Dict[str, frozenset] = {}
+
+    def add(self, label: str, addresses: Iterable[int]) -> None:
+        if label in self._sets:
+            raise ValueError(f"dataset {label!r} already added")
+        self._sets[label] = frozenset(addresses)
+
+    @property
+    def labels(self) -> List[str]:
+        return list(self._sets)
+
+    def addresses(self, label: str) -> frozenset:
+        return self._sets[label]
+
+    # -- per-dataset metrics ------------------------------------------------
+
+    def _net48s(self, label: str) -> set:
+        return addrmod.distinct_networks(self._sets[label], 48)
+
+    def _asns(self, label: str) -> set:
+        lookup = self.asdb.lookup_asn
+        return {asn for value in self._sets[label]
+                if (asn := lookup(value)) is not None}
+
+    def summary(self, label: str) -> DatasetSummary:
+        addresses = self._sets[label]
+        shift = 128 - 48
+        per48: Dict[int, int] = {}
+        per_as: Dict[int, int] = {}
+        lookup = self.asdb.lookup_asn
+        for value in addresses:
+            key = value >> shift
+            per48[key] = per48.get(key, 0) + 1
+            asn = lookup(value)
+            if asn is not None:
+                per_as[asn] = per_as.get(asn, 0) + 1
+        return DatasetSummary(
+            label=label,
+            address_count=len(addresses),
+            net48_count=len(per48),
+            as_count=len(per_as),
+            median_ips_per_48=_median(per48.values()),
+            median_ips_per_as=_median(per_as.values()),
+        )
+
+    # -- overlaps ----------------------------------------------------------
+
+    def overlap(self, reference: str, other: str) -> OverlapSummary:
+        ref, oth = self._sets[reference], self._sets[other]
+        return OverlapSummary(
+            other_label=other,
+            address_overlap=len(ref & oth),
+            net48_overlap=len(self._net48s(reference) & self._net48s(other)),
+            as_overlap=len(self._asns(reference) & self._asns(other)),
+        )
+
+    def table(self, reference: str) -> "ComparisonTable":
+        """Full Table 1: every dataset + overlaps against ``reference``."""
+        summaries = [self.summary(label) for label in self._sets]
+        overlaps = [self.overlap(reference, label)
+                    for label in self._sets if label != reference]
+        return ComparisonTable(reference=reference, summaries=summaries,
+                               overlaps=overlaps)
+
+
+@dataclass(frozen=True)
+class ComparisonTable:
+    """Rendered-friendly Table 1 contents."""
+
+    reference: str
+    summaries: Sequence[DatasetSummary]
+    overlaps: Sequence[OverlapSummary]
+
+    def summary_for(self, label: str) -> DatasetSummary:
+        for summary in self.summaries:
+            if summary.label == label:
+                return summary
+        raise KeyError(label)
+
+    def overlap_for(self, label: str) -> OverlapSummary:
+        for overlap in self.overlaps:
+            if overlap.other_label == label:
+                return overlap
+        raise KeyError(label)
+
+
+def _median(values) -> float:
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return float(ordered[mid])
+    return (ordered[mid - 1] + ordered[mid]) / 2

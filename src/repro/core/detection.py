@@ -1,0 +1,200 @@
+"""Actor identification from telescope observations (Section 5.2).
+
+Groups the telescope's matched inbound events into actors (clustered by
+the scanner's origin AS group), derives each actor's behavioural
+profile — which pool servers trigger it, the delay between NTP reveal
+and first probe, the per-address scan duration, the port set — and
+classifies the actor as *overt research* or *covert*:
+
+* short reaction (< 1 h), one quick burst per address, broad port
+  coverage, identifiable (research) address space → **overt**;
+* multi-day delays, probes spread over days, partial port coverage,
+  servers and scanners in different cloud providers, security-sensitive
+  port profile → **covert**.
+"""
+
+from __future__ import annotations
+
+import statistics
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.core.telescope import InboundEvent, Telescope
+from repro.net.clock import DAY, HOUR
+from repro.net.rdns import ReverseDns
+from repro.world.asdb import AsDatabase
+
+#: Ports conventionally gated by access control (remote admin, DBs).
+SENSITIVE_PORTS = frozenset({
+    443, 8443, 3388, 3389, 5900, 5901, 6000, 6001, 9200, 27017, 22, 23,
+})
+
+
+@dataclass(frozen=True)
+class ActorObservation:
+    """The evidence gathered about one scanning actor."""
+
+    cluster: str
+    source_addresses: FrozenSet[int]
+    source_categories: FrozenSet[str]
+    #: PTR names the scanner sources publish (empty for covert actors).
+    source_rdns: FrozenSet[str]
+    triggering_servers: FrozenSet[int]
+    server_operators: FrozenSet[str]
+    ports: FrozenSet[int]
+    event_count: int
+    addresses_scanned: int
+    median_delay: float
+    max_delay: float
+    median_duration: float
+    span: float
+
+    @property
+    def sensitive_share(self) -> float:
+        if not self.ports:
+            return 0.0
+        return len(self.ports & SENSITIVE_PORTS) / len(self.ports)
+
+
+@dataclass(frozen=True)
+class ActorVerdict:
+    """Classification of one actor."""
+
+    observation: ActorObservation
+    kind: str  # "research" | "covert" | "unclassified"
+    reasons: Tuple[str, ...]
+
+
+class ActorDetector:
+    """Turns telescope events into actor observations and verdicts."""
+
+    def __init__(self, telescope: Telescope, asdb: AsDatabase,
+                 operator_of_server=None,
+                 rdns: Optional[ReverseDns] = None) -> None:
+        """``operator_of_server(address) -> str`` resolves a pool
+        server's operator label (from the pool registry); optional —
+        unresolvable servers group as "(unknown)".  ``rdns`` enables the
+        paper's strongest identification signal: scanners that publish
+        self-identifying PTR records."""
+        self.telescope = telescope
+        self.asdb = asdb
+        self.rdns = rdns
+        self._operator_of_server = operator_of_server or (lambda _: "(unknown)")
+
+    # -- clustering -----------------------------------------------------------
+
+    def _cluster_key(self, event: InboundEvent) -> str:
+        """Cluster scanners by origin-AS name, falling back to /48."""
+        system = self.asdb.lookup(event.src)
+        if system is not None:
+            return f"AS{system.number} {system.name}"
+        return f"net {event.src >> 80:#x}/48"
+
+    def observations(self) -> List[ActorObservation]:
+        """Group matched events into per-actor evidence records."""
+        groups: Dict[str, List[InboundEvent]] = defaultdict(list)
+        for event in self.telescope.matched_events():
+            groups[self._cluster_key(event)].append(event)
+        result = []
+        for cluster, events in sorted(groups.items()):
+            result.append(self._summarize(cluster, events))
+        return result
+
+    def _summarize(self, cluster: str,
+                   events: Sequence[InboundEvent]) -> ActorObservation:
+        delays = []
+        per_address: Dict[int, List[float]] = defaultdict(list)
+        servers = set()
+        for event in events:
+            bait = event.bait
+            assert bait is not None
+            delays.append(event.time - bait.query_time)
+            per_address[event.dst].append(event.time)
+            servers.add(bait.server)
+        durations = [max(times) - min(times)
+                     for times in per_address.values()]
+        categories = set()
+        for event in events:
+            system = self.asdb.lookup(event.src)
+            categories.add(system.category if system else "(unrouted)")
+        times = [event.time for event in events]
+        rdns_names: set = set()
+        if self.rdns is not None:
+            for event in events:
+                name = self.rdns.lookup(event.src)
+                if name is not None:
+                    rdns_names.add(name)
+        return ActorObservation(
+            cluster=cluster,
+            source_addresses=frozenset(event.src for event in events),
+            source_categories=frozenset(categories),
+            source_rdns=frozenset(rdns_names),
+            triggering_servers=frozenset(servers),
+            server_operators=frozenset(
+                self._operator_of_server(server) for server in servers
+            ),
+            ports=frozenset(event.dst_port for event in events),
+            event_count=len(events),
+            addresses_scanned=len(per_address),
+            median_delay=statistics.median(delays) if delays else 0.0,
+            max_delay=max(delays) if delays else 0.0,
+            median_duration=statistics.median(durations) if durations else 0.0,
+            span=(max(times) - min(times)) if times else 0.0,
+        )
+
+    # -- classification ---------------------------------------------------------
+
+    def classify(self, observation: ActorObservation) -> ActorVerdict:
+        reasons: List[str] = []
+        covert_score = 0
+        overt_score = 0
+
+        if observation.median_delay <= HOUR:
+            overt_score += 1
+            reasons.append("reacts within an hour of the NTP response")
+        if observation.median_delay >= 6 * HOUR:
+            covert_score += 1
+            reasons.append("waits many hours to days before scanning")
+        if observation.median_duration <= 15 * 60:
+            overt_score += 1
+            reasons.append("finishes each address within minutes")
+        if observation.median_duration >= DAY / 2:
+            covert_score += 1
+            reasons.append("spreads probes on one address over days")
+        if observation.source_rdns:
+            if any("research" in name.lower() or "scan" in name.lower()
+                   for name in observation.source_rdns):
+                overt_score += 2
+                reasons.append(
+                    "publishes self-identifying reverse DNS")
+        elif self.rdns is not None and len(self.rdns):
+            covert_score += 1
+            reasons.append("sources have no reverse DNS at all")
+        if "Educational/Research" in observation.source_categories:
+            overt_score += 2
+            reasons.append("scans from identifiable research address space")
+        if observation.source_categories <= {"Content"}:
+            covert_score += 1
+            reasons.append("scans exclusively from cloud address space")
+        if 0 < len(observation.ports) <= 16 and \
+                observation.sensitive_share >= 0.8:
+            covert_score += 1
+            reasons.append("targets access-control-protected services")
+        if len(observation.ports) >= 50:
+            overt_score += 1
+            reasons.append("broad service-diversity port coverage")
+
+        if overt_score > covert_score:
+            kind = "research"
+        elif covert_score > overt_score:
+            kind = "covert"
+        else:
+            kind = "unclassified"
+        return ActorVerdict(observation=observation, kind=kind,
+                            reasons=tuple(reasons))
+
+    def report(self) -> List[ActorVerdict]:
+        """Observations + verdicts for every detected actor."""
+        return [self.classify(observation)
+                for observation in self.observations()]

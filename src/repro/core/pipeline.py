@@ -1,0 +1,140 @@
+"""End-to-end experiment orchestration.
+
+:func:`run_experiment` reproduces the paper's full measurement
+timeline on one simulated world:
+
+1. *(optional)* an **R&L-style collection** (their 2022 study) — used
+   only for Table 1's overlap rows;
+2. a **gap period** in which the world churns on (the two years between
+   the studies, compressed);
+3. **our collection campaign** with real-time scanning of every newly
+   sourced address (three collection weeks, then a final week in which
+   collection continues *and* the freshly built full hitlist is scanned
+   — matching the paper's August 9–16 window);
+4. the assembled :class:`ExperimentResult`, the single object every
+   table/figure bench consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.campaign import CampaignConfig, CollectionCampaign, rl_2022_config
+from repro.core.collector import CollectedDataset
+from repro.core.comparison import ComparisonTable, DatasetComparison
+from repro.core.realtime import RealTimeScanQueue
+from repro.scan.engine import EngineConfig, ScanEngine
+from repro.scan.result import ScanResults
+from repro.world.hitlist import Hitlist, HitlistConfig, build_hitlist
+from repro.world.population import World, WorldConfig, build_world
+
+
+@dataclass
+class ExperimentConfig:
+    """Everything needed to run the full study."""
+
+    world: WorldConfig = field(default_factory=WorldConfig)
+    campaign: CampaignConfig = field(default_factory=CampaignConfig)
+    hitlist: HitlistConfig = field(default_factory=HitlistConfig)
+    #: Run the R&L-style pre-campaign for Table 1's overlap rows.
+    include_rl: bool = True
+    rl_days: int = 10
+    #: Churn-only days between the R&L study and ours.
+    gap_days: int = 14
+    #: Collection days before the hitlist snapshot + final week.
+    lead_days: int = 21
+    final_days: int = 7
+    scan_seed: int = 0x51AB
+
+
+@dataclass
+class ExperimentResult:
+    """All artefacts of one experiment run."""
+
+    world: World
+    ntp_dataset: CollectedDataset
+    ntp_scan: ScanResults
+    hitlist: Hitlist
+    hitlist_scan: ScanResults
+    rl_dataset: Optional[CollectedDataset]
+    campaign: CollectionCampaign
+    config: ExperimentConfig
+
+    def comparison(self) -> DatasetComparison:
+        """The Table 1 comparator over every dataset in this run."""
+        comparison = DatasetComparison(self.world.asdb)
+        comparison.add("ntp", self.ntp_dataset.addresses)
+        if self.rl_dataset is not None:
+            comparison.add("rl", self.rl_dataset.addresses)
+        comparison.add("hitlist-full", self.hitlist.full)
+        comparison.add("hitlist-public", self.hitlist.public)
+        return comparison
+
+    def table1(self) -> ComparisonTable:
+        return self.comparison().table("ntp")
+
+
+def _scanner_source(world: World) -> int:
+    """Allocate the study's scanner address inside a research AS.
+
+    Placing the scanner in identifiable research address space mirrors
+    the paper's ethics setup (reverse-DNS + info pages) and lets the
+    Section 5 detector classify our own scans as an overt actor.
+    """
+    for system in world.asdb.systems:
+        if system.category == "Educational/Research":
+            source = world.allocate_prefix64(system.number) | 0x10
+            world.rdns.register(
+                source, "ipv6-research-scan.comsys.example.edu")
+            return source
+    # Fallback: infrastructure space (no research AS configured).
+    return int("20010db8000000000000000000000010", 16)
+
+
+def run_experiment(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
+    """Run the complete study; deterministic in ``config``."""
+    config = config or ExperimentConfig()
+    world = build_world(config.world)
+
+    rl_dataset: Optional[CollectedDataset] = None
+    if config.include_rl:
+        rl_campaign = CollectionCampaign(world, rl_2022_config(config.rl_days))
+        rl_dataset = rl_campaign.run().dataset
+        rl_campaign.deregister_all()
+
+    for _ in range(config.gap_days):
+        world.churn.step_day()
+
+    from repro.scan.ethics import publish_scanner_identity
+
+    scanner_source = _scanner_source(world)
+    publish_scanner_identity(world.network, scanner_source, world.rdns)
+    engine = ScanEngine(
+        world.network, scanner_source,
+        EngineConfig(drive_clock=False, seed=config.scan_seed),
+    )
+    queue = RealTimeScanQueue(engine)
+    campaign = CollectionCampaign(world, config.campaign, scan_queue=queue)
+    campaign.advance_days(config.lead_days)
+
+    # Hitlist snapshot, then the final shared week: collection continues
+    # while a second engine walks the full hitlist.
+    hitlist = build_hitlist(world, config.hitlist)
+    campaign.advance_days(config.final_days)
+    hitlist_engine = ScanEngine(
+        world.network, _scanner_source(world),
+        EngineConfig(drive_clock=False, seed=config.scan_seed ^ 0xFF),
+    )
+    hitlist_scan = hitlist_engine.run(sorted(hitlist.full), label="hitlist")
+
+    return ExperimentResult(
+        world=world,
+        ntp_dataset=campaign.dataset,
+        ntp_scan=queue.results,
+        hitlist=hitlist,
+        hitlist_scan=hitlist_scan,
+        rl_dataset=rl_dataset,
+        campaign=campaign,
+        config=config,
+    )

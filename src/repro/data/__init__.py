@@ -1,0 +1,1 @@
+"""Static reference data: release catalogues and title pools."""

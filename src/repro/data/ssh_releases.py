@@ -1,0 +1,87 @@
+"""Catalogue of OpenSSH builds per distribution release.
+
+Debian-derived distributions encode their package patch level in the
+SSH identification string (``OpenSSH_9.2p1 Debian-2+deb12u3``), and —
+because stable updates only ship security/important fixes — the paper
+counts every non-latest patch level as outdated (Section 4.4.1).
+
+This table plays the role of the public Debian/Ubuntu/Raspbian
+changelogs: the world generator samples device banners from it, and the
+analysis judges up-to-dateness against it.  Patch levels are ordered
+oldest → newest; the last entry is the *latest* at scan time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class SshRelease:
+    """OpenSSH builds of one distro release (e.g. Debian 12)."""
+
+    distro: str
+    release: str
+    upstream: str
+    patches: Tuple[str, ...]
+
+    @property
+    def latest(self) -> str:
+        return self.patches[-1]
+
+    def banner_software(self) -> str:
+        return f"OpenSSH_{self.upstream}"
+
+    def banner_comment(self, patch: str) -> str:
+        return f"{self.distro}-{patch}"
+
+
+RELEASES: Tuple[SshRelease, ...] = (
+    SshRelease("Ubuntu", "24.04", "9.6p1",
+               ("3ubuntu13", "3ubuntu13.3", "3ubuntu13.4", "3ubuntu13.5")),
+    SshRelease("Ubuntu", "22.04", "8.9p1",
+               ("3ubuntu0.6", "3ubuntu0.7", "3ubuntu0.10")),
+    SshRelease("Ubuntu", "20.04", "8.2p1",
+               ("4ubuntu0.9", "4ubuntu0.10", "4ubuntu0.11")),
+    SshRelease("Debian", "12", "9.2p1",
+               ("2", "2+deb12u1", "2+deb12u2", "2+deb12u3")),
+    SshRelease("Debian", "11", "8.4p1",
+               ("5", "5+deb11u1", "5+deb11u2", "5+deb11u3")),
+    SshRelease("Debian", "10", "7.9p1",
+               ("10", "10+deb10u2", "10+deb10u3", "10+deb10u4")),
+    SshRelease("Raspbian", "12", "9.2p1",
+               ("2", "2+deb12u1", "2+deb12u2", "2+deb12u3")),
+    SshRelease("Raspbian", "11", "8.4p1",
+               ("5", "5+deb11u1", "5+deb11u3")),
+    SshRelease("Raspbian", "10", "7.9p1",
+               ("10", "10+deb10u2", "10+deb10u4")),
+)
+
+#: (distro, upstream) → latest patch string; the analyst's reference.
+_LATEST: Dict[Tuple[str, str], str] = {
+    (release.distro, release.upstream): release.latest for release in RELEASES
+}
+
+
+def latest_patch(distro: str, upstream: str) -> Optional[str]:
+    """Latest known patch level for a (distro, upstream) pair."""
+    return _LATEST.get((distro, upstream))
+
+
+def is_outdated(distro: str, upstream: str, patch: str) -> Optional[bool]:
+    """Whether a banner's patch level is behind the latest.
+
+    Returns ``None`` for unknown (distro, upstream) combinations —
+    the analysis then skips the host, as the paper does for servers
+    whose patch level it cannot assess.
+    """
+    latest = latest_patch(distro, upstream)
+    if latest is None:
+        return None
+    return patch != latest
+
+
+def releases_for(distro: str) -> Tuple[SshRelease, ...]:
+    """All releases of one distribution."""
+    return tuple(r for r in RELEASES if r.distro == distro)

@@ -1,0 +1,19 @@
+"""Persistence: JSONL formats for datasets and scan results."""
+
+from repro.io.jsonl import (
+    FORMAT_VERSION,
+    FormatError,
+    load_dataset,
+    load_results,
+    save_dataset,
+    save_results,
+)
+
+__all__ = [
+    "FORMAT_VERSION",
+    "FormatError",
+    "load_dataset",
+    "load_results",
+    "save_dataset",
+    "save_results",
+]

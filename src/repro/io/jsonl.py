@@ -1,0 +1,244 @@
+"""JSONL persistence for datasets and scan results.
+
+zgrab2 emits one JSON object per grab; the paper's pipeline stores
+collected addresses and grabs for offline analysis.  This module
+mirrors that: line-oriented JSON with stable, versioned record shapes,
+so campaigns can be saved, shipped, and re-analyzed without re-running
+the simulation.
+
+Addresses serialize in RFC 5952 text form (readable, diffable);
+fingerprints as hex.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, Optional, Union
+
+from repro.core.collector import AddressObservation, CollectedDataset
+from repro.ipv6 import address as addrmod
+from repro.scan.result import (
+    BrokerGrab,
+    CoapGrab,
+    HttpGrab,
+    ScanResults,
+    SshGrab,
+    TlsObservation,
+)
+
+#: Format version stamped into every file's header record.
+FORMAT_VERSION = 1
+
+PathLike = Union[str, Path]
+
+
+class FormatError(ValueError):
+    """Raised when a file does not match the expected record shapes."""
+
+
+def _header(kind: str, label: str) -> Dict:
+    return {"type": "header", "kind": kind, "label": label,
+            "version": FORMAT_VERSION}
+
+
+def _check_header(record: Dict, kind: str) -> str:
+    if record.get("type") != "header" or record.get("kind") != kind:
+        raise FormatError(f"not a {kind} file: header {record!r}")
+    if record.get("version") != FORMAT_VERSION:
+        raise FormatError(f"unsupported format version {record.get('version')}")
+    return record.get("label", "")
+
+
+def _write_lines(path: PathLike, records: Iterable[Dict]) -> int:
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record, ensure_ascii=False,
+                                    sort_keys=True))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def _read_lines(path: PathLike) -> Iterator[Dict]:
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                yield json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise FormatError(
+                    f"{path}:{line_number}: malformed JSON") from exc
+
+
+# -- collected datasets ----------------------------------------------------
+
+def save_dataset(dataset: CollectedDataset, path: PathLike) -> int:
+    """Write a collected dataset; returns the number of records."""
+
+    def records() -> Iterator[Dict]:
+        yield _header("dataset", dataset.label)
+        for location, addresses in sorted(dataset.per_server.items()):
+            yield {"type": "server", "location": location,
+                   "addresses": len(addresses)}
+        for value, observation in dataset.observations.items():
+            record = {
+                "type": "address",
+                "addr": addrmod.format_address(value),
+                "first_seen": observation.first_seen,
+                "last_seen": observation.last_seen,
+                "requests": observation.requests,
+                "servers": sorted(
+                    location
+                    for location, members in dataset.per_server.items()
+                    if value in members),
+            }
+            yield record
+
+    return _write_lines(path, records())
+
+
+def load_dataset(path: PathLike) -> CollectedDataset:
+    """Read a dataset written by :func:`save_dataset`."""
+    records = _read_lines(path)
+    try:
+        label = _check_header(next(records), "dataset")
+    except StopIteration as exc:
+        raise FormatError(f"{path}: empty file") from exc
+    dataset = CollectedDataset(label=label)
+    for record in records:
+        if record.get("type") == "server":
+            dataset.per_server.setdefault(record["location"], set())
+        elif record.get("type") == "address":
+            value = addrmod.parse(record["addr"])
+            dataset.observations[value] = AddressObservation(
+                first_seen=record["first_seen"],
+                last_seen=record["last_seen"],
+                requests=record["requests"],
+            )
+            dataset.total_requests += record["requests"]
+            for location in record.get("servers", []):
+                dataset.per_server.setdefault(location, set()).add(value)
+        else:
+            raise FormatError(f"unknown record type {record.get('type')!r}")
+    return dataset
+
+
+# -- scan results -------------------------------------------------------------
+
+def _tls_to_json(tls: Optional[TlsObservation]) -> Optional[Dict]:
+    if tls is None:
+        return None
+    return {
+        "ok": tls.ok,
+        "alert": tls.alert,
+        "fingerprint": tls.fingerprint.hex() if tls.fingerprint else None,
+        "subject": tls.subject,
+        "issuer": tls.issuer,
+        "self_signed": tls.self_signed,
+        "expired": tls.expired,
+    }
+
+
+def _tls_from_json(record: Optional[Dict]) -> Optional[TlsObservation]:
+    if record is None:
+        return None
+    fingerprint = record.get("fingerprint")
+    return TlsObservation(
+        ok=record["ok"],
+        alert=record.get("alert"),
+        fingerprint=bytes.fromhex(fingerprint) if fingerprint else None,
+        subject=record.get("subject"),
+        issuer=record.get("issuer"),
+        self_signed=record.get("self_signed"),
+        expired=record.get("expired"),
+    )
+
+
+def _grab_to_json(grab) -> Dict:
+    base = {"addr": addrmod.format_address(grab.address),
+            "time": grab.time, "ok": grab.ok}
+    if isinstance(grab, HttpGrab):
+        base.update(type="http", port=grab.port, status=grab.status,
+                    title=grab.title, server=grab.server,
+                    tls=_tls_to_json(grab.tls))
+    elif isinstance(grab, SshGrab):
+        base.update(
+            type="ssh", banner=grab.banner, software=grab.software,
+            comment=grab.comment, key_algorithm=grab.key_algorithm,
+            key_fingerprint=(grab.key_fingerprint.hex()
+                             if grab.key_fingerprint else None))
+    elif isinstance(grab, BrokerGrab):
+        base.update(type="broker", protocol=grab.protocol, port=grab.port,
+                    open_access=grab.open_access, detail=grab.detail,
+                    tls=_tls_to_json(grab.tls))
+    elif isinstance(grab, CoapGrab):
+        base.update(type="coap", resources=list(grab.resources))
+    else:
+        raise TypeError(f"not a grab: {grab!r}")
+    return base
+
+
+def _grab_from_json(record: Dict):
+    address = addrmod.parse(record["addr"])
+    kind = record.get("type")
+    if kind == "http":
+        return HttpGrab(
+            address=address, time=record["time"], port=record["port"],
+            ok=record["ok"], status=record.get("status"),
+            title=record.get("title"), server=record.get("server"),
+            tls=_tls_from_json(record.get("tls")))
+    if kind == "ssh":
+        fingerprint = record.get("key_fingerprint")
+        return SshGrab(
+            address=address, time=record["time"], ok=record["ok"],
+            banner=record.get("banner"), software=record.get("software"),
+            comment=record.get("comment"),
+            key_algorithm=record.get("key_algorithm"),
+            key_fingerprint=bytes.fromhex(fingerprint)
+            if fingerprint else None)
+    if kind == "broker":
+        return BrokerGrab(
+            address=address, time=record["time"], port=record["port"],
+            protocol=record["protocol"], ok=record["ok"],
+            open_access=record.get("open_access"),
+            detail=record.get("detail"),
+            tls=_tls_from_json(record.get("tls")))
+    if kind == "coap":
+        return CoapGrab(address=address, time=record["time"],
+                        ok=record["ok"],
+                        resources=tuple(record.get("resources", ())))
+    raise FormatError(f"unknown grab type {kind!r}")
+
+
+def save_results(results: ScanResults, path: PathLike) -> int:
+    """Write scan results (zgrab2-style JSONL); returns record count."""
+
+    def records() -> Iterator[Dict]:
+        yield _header("scan-results", results.label)
+        yield {"type": "meta", "targets_seen": results.targets_seen}
+        for protocol in ("http", "https", "ssh", "mqtt", "mqtts",
+                         "amqp", "amqps", "coap"):
+            for grab in results.grabs(protocol):
+                yield _grab_to_json(grab)
+
+    return _write_lines(path, records())
+
+
+def load_results(path: PathLike) -> ScanResults:
+    """Read results written by :func:`save_results`."""
+    records = _read_lines(path)
+    try:
+        label = _check_header(next(records), "scan-results")
+    except StopIteration as exc:
+        raise FormatError(f"{path}: empty file") from exc
+    results = ScanResults(label=label)
+    for record in records:
+        if record.get("type") == "meta":
+            results.targets_seen = record.get("targets_seen", 0)
+            continue
+        results.add(_grab_from_json(record))
+    return results

@@ -1,0 +1,38 @@
+"""IPv6 address substrate: parsing, IID structure, EUI-64, aggregation."""
+
+from repro.ipv6.address import (
+    ADDRESS_BITS,
+    ADDRESS_SPACE,
+    format_address,
+    format_network,
+    network_key,
+    parse,
+    parse_network,
+    prefix,
+)
+from repro.ipv6.eui64 import extract_mac, format_mac, mac_to_iid, parse_mac
+from repro.ipv6.iid import CLASSES, classify_iid, profile
+from repro.ipv6.oui import OuiRegistry, default_registry
+from repro.ipv6.aggregation import PrefixAggregator, overlap
+
+__all__ = [
+    "ADDRESS_BITS",
+    "ADDRESS_SPACE",
+    "CLASSES",
+    "OuiRegistry",
+    "PrefixAggregator",
+    "classify_iid",
+    "default_registry",
+    "extract_mac",
+    "format_address",
+    "format_mac",
+    "format_network",
+    "mac_to_iid",
+    "network_key",
+    "overlap",
+    "parse",
+    "parse_mac",
+    "parse_network",
+    "prefix",
+    "profile",
+]

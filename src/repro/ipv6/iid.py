@@ -1,0 +1,128 @@
+"""Interface-identifier (IID) classification and entropy measurement.
+
+The paper (Section 3.2.1, Figure 1) groups collected addresses by the
+structure of their 64-bit interface identifier, following Rye & Levin:
+
+* ``zero``            — the IID is all zeroes (``prefix::``);
+* ``low-byte``        — only the last byte is set (``::x``);
+* ``low-two-bytes``   — only the last two bytes are set (``::xxyy``);
+* otherwise the IID is bucketed by its *byte entropy* into ``low``,
+  ``medium``, and ``high`` entropy classes.  EUI-64-derived IIDs are
+  reported separately because they carry an embedded MAC address.
+
+High-entropy IIDs indicate SLAAC privacy extensions (RFC 8981), i.e.
+end-user devices; structured IIDs indicate manually configured servers
+and routers.  The share of each class is the paper's primary structural
+fingerprint of an address set.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.ipv6 import address as addr
+from repro.ipv6 import eui64
+
+#: Classification labels, in the order Figure 1 stacks them.
+CLASSES = (
+    "zero",
+    "low-byte",
+    "low-two-bytes",
+    "eui64",
+    "low-entropy",
+    "medium-entropy",
+    "high-entropy",
+)
+
+#: Classes the paper calls "structured" (manually configured hosts).
+STRUCTURED_CLASSES = frozenset({"zero", "low-byte", "low-two-bytes"})
+
+#: Entropy thresholds in bits-per-byte over the 8 IID bytes.
+LOW_ENTROPY_MAX = 1.0
+MEDIUM_ENTROPY_MAX = 2.0
+
+
+def iid_bytes(value: int) -> bytes:
+    """Return the 8 IID bytes of an address (or bare 64-bit IID)."""
+    return (value & addr.IID_MASK).to_bytes(8, "big")
+
+
+def byte_entropy(data: bytes) -> float:
+    """Shannon entropy of a byte string, in bits per byte.
+
+    An 8-byte IID has at most 3 bits of byte-entropy (8 distinct bytes).
+    Structured identifiers score near zero; SLAAC privacy identifiers
+    score near the maximum.
+
+    >>> byte_entropy(bytes(8))
+    0.0
+    """
+    if not data:
+        return 0.0
+    counts = Counter(data)
+    total = len(data)
+    # +0.0 normalizes the IEEE negative zero a single-value
+    # distribution would otherwise produce.
+    return -sum(
+        (count / total) * math.log2(count / total) for count in counts.values()
+    ) + 0.0
+
+
+def classify_iid(value: int) -> str:
+    """Classify a single address (or bare IID) into one of :data:`CLASSES`."""
+    identifier = value & addr.IID_MASK
+    if identifier == 0:
+        return "zero"
+    if identifier <= 0xFF:
+        return "low-byte"
+    if identifier <= 0xFFFF:
+        return "low-two-bytes"
+    if eui64.looks_like_eui64(identifier):
+        return "eui64"
+    entropy = byte_entropy(iid_bytes(identifier))
+    if entropy <= LOW_ENTROPY_MAX:
+        return "low-entropy"
+    if entropy <= MEDIUM_ENTROPY_MAX:
+        return "medium-entropy"
+    return "high-entropy"
+
+
+@dataclass(frozen=True)
+class StructureProfile:
+    """Share of each IID class within an address set (Figure 1 input)."""
+
+    counts: Mapping[str, int]
+    total: int
+
+    def share(self, label: str) -> float:
+        """Fraction of addresses in ``label`` (0 when the set is empty)."""
+        if self.total == 0:
+            return 0.0
+        return self.counts.get(label, 0) / self.total
+
+    @property
+    def structured_share(self) -> float:
+        """Combined share of the structured classes."""
+        return sum(self.share(label) for label in STRUCTURED_CLASSES)
+
+    @property
+    def high_entropy_share(self) -> float:
+        """Share of privacy-extension-like identifiers."""
+        return self.share("high-entropy")
+
+    def as_dict(self) -> dict[str, float]:
+        """Shares per class, keyed in :data:`CLASSES` order."""
+        return {label: self.share(label) for label in CLASSES}
+
+
+def profile(addresses: Iterable[int]) -> StructureProfile:
+    """Classify every address and return the aggregate profile."""
+    counts: Counter[str] = Counter()
+    total = 0
+    for value in addresses:
+        counts[classify_iid(value)] += 1
+        total += 1
+    return StructureProfile(counts=dict(counts), total=total)

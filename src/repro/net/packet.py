@@ -1,0 +1,60 @@
+"""Wire-level records exchanged over the simulated network.
+
+The simulator delivers whole datagrams and whole stream writes; there is
+no fragmentation.  Every delivery is also offered to registered *taps*
+as a :class:`PacketRecord`, which is how the telescope observes inbound
+scan traffic without the scanned service having to cooperate.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Transport(enum.Enum):
+    """Transport protocol of a delivery."""
+
+    UDP = "udp"
+    TCP = "tcp"
+
+
+@dataclass(frozen=True)
+class Datagram:
+    """A single UDP datagram in flight."""
+
+    src: int
+    src_port: int
+    dst: int
+    dst_port: int
+    payload: bytes
+
+    def reply(self, payload: bytes) -> "Datagram":
+        """Build the response datagram with endpoints swapped."""
+        return Datagram(
+            src=self.dst,
+            src_port=self.dst_port,
+            dst=self.src,
+            dst_port=self.src_port,
+            payload=payload,
+        )
+
+
+@dataclass(frozen=True)
+class PacketRecord:
+    """What a network tap sees for one delivery.
+
+    ``syn`` marks the connection-opening event of a TCP exchange so that
+    taps can count connection attempts (the telescope's unit of
+    observation) separately from in-connection writes.
+    """
+
+    time: float
+    transport: Transport
+    src: int
+    src_port: int
+    dst: int
+    dst_port: int
+    size: int
+    syn: bool = False
+    delivered: bool = True

@@ -1,0 +1,51 @@
+"""A minimal reverse-DNS registry.
+
+Good Internet citizenship (paper Appendix A.2.2) means scanners
+identify themselves: research scanners publish PTR records like
+``research-scanner-1.university.example`` and host an explanation page.
+Section 5 uses exactly this signal to tell the overt research actor
+from the covert one (which publishes nothing).
+
+The registry is deliberately simple — name lookups by exact address —
+because that is all both the ethics setup and the detector consume.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+#: Substrings that mark a PTR name as self-identifying research.
+RESEARCH_MARKERS = ("research", "scan", "survey", "measurement")
+
+
+class ReverseDns:
+    """address → PTR name mappings."""
+
+    def __init__(self) -> None:
+        self._records: Dict[int, str] = {}
+
+    def register(self, address: int, name: str) -> None:
+        """Publish a PTR record (overwrites an existing one)."""
+        if not name:
+            raise ValueError("PTR name must be non-empty")
+        self._records[address] = name
+
+    def register_range(self, addresses: Iterable[int], pattern: str) -> None:
+        """Publish records for many addresses; ``{index}`` interpolates."""
+        for index, address in enumerate(addresses):
+            self.register(address, pattern.format(index=index))
+
+    def lookup(self, address: int) -> Optional[str]:
+        """The PTR name of an address, or None (NXDOMAIN)."""
+        return self._records.get(address)
+
+    def identifies_research(self, address: int) -> bool:
+        """Whether the address self-identifies as a research scanner."""
+        name = self.lookup(address)
+        if name is None:
+            return False
+        lowered = name.lower()
+        return any(marker in lowered for marker in RESEARCH_MARKERS)
+
+    def __len__(self) -> int:
+        return len(self._records)

@@ -1,0 +1,173 @@
+"""A simulator of the NTP Pool (pool.ntp.org).
+
+The pool groups volunteer servers into country *zones* and hands each
+resolving client a server from its own country zone when one exists,
+falling back to the continent/global zone otherwise — the behaviour
+documented by Moura et al. (2024) that the paper's server-placement
+strategy exploits.  Within a zone, selection probability is proportional
+to the operator-configured ``netspeed`` weight.
+
+The simulator also runs the pool's *monitoring*: servers are probed with
+real SNTP queries and are only eligible for DNS rotation while their
+score is above the acceptance threshold, matching how real pool members
+gain/lose traffic.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.net.simnet import Network
+from repro.ntp.client import NtpClient
+
+#: Zone name used for clients whose country has no populated zone.
+GLOBAL_ZONE = "@"
+
+#: Monitor score below which a server is dropped from rotation.
+SCORE_THRESHOLD = 10.0
+
+#: Score bounds (the real pool caps at 20).
+SCORE_MAX = 20.0
+SCORE_MIN = -100.0
+
+
+@dataclass
+class PoolServer:
+    """One pool member: address, zone, weight, and monitor state."""
+
+    address: int
+    zone: str
+    netspeed: int = 1000
+    score: float = SCORE_MAX
+    advertised: bool = True
+    operator: str = ""
+
+    @property
+    def in_rotation(self) -> bool:
+        """Eligible for DNS responses right now."""
+        return self.advertised and self.score >= SCORE_THRESHOLD
+
+
+class NtpPool:
+    """Zone registry + GeoDNS-style resolution + monitoring."""
+
+    def __init__(self, network: Network, rng: Optional[random.Random] = None,
+                 monitor_address: Optional[int] = None) -> None:
+        self.network = network
+        self._rng = rng or random.Random(0x9001)
+        self._servers: Dict[int, PoolServer] = {}
+        self._zones: Dict[str, List[PoolServer]] = {}
+        self._monitor_client: Optional[NtpClient] = None
+        if monitor_address is not None:
+            self._monitor_client = NtpClient(network, monitor_address)
+
+    # -- registration --------------------------------------------------
+
+    def register(self, address: int, zone: str, netspeed: int = 1000,
+                 operator: str = "") -> PoolServer:
+        """Add a server to a country zone (and implicitly the global zone)."""
+        if address in self._servers:
+            raise ValueError(f"server {address:#x} already registered")
+        if netspeed <= 0:
+            raise ValueError(f"netspeed must be positive, got {netspeed}")
+        server = PoolServer(address=address, zone=zone, netspeed=netspeed,
+                            operator=operator)
+        self._servers[address] = server
+        self._zones.setdefault(zone, []).append(server)
+        return server
+
+    def deregister(self, address: int) -> None:
+        """Stop advertising a server (it stays monitored but unresolvable).
+
+        Mirrors the paper's ethics procedure of de-advertising servers
+        weeks before shutdown rather than removing them abruptly.
+        """
+        server = self._servers.get(address)
+        if server is None:
+            raise KeyError(f"server {address:#x} not registered")
+        server.advertised = False
+
+    def set_netspeed(self, address: int, netspeed: int) -> None:
+        """Operator weight adjustment (the paper tunes this upward until
+        the request rate approaches the scanning budget)."""
+        if netspeed <= 0:
+            raise ValueError(f"netspeed must be positive, got {netspeed}")
+        self._servers[address].netspeed = netspeed
+
+    def server(self, address: int) -> PoolServer:
+        return self._servers[address]
+
+    @property
+    def servers(self) -> tuple:
+        return tuple(self._servers.values())
+
+    def zone_servers(self, zone: str, rotation_only: bool = True) -> List[PoolServer]:
+        servers = self._zones.get(zone, [])
+        if rotation_only:
+            return [server for server in servers if server.in_rotation]
+        return list(servers)
+
+    def populated_zones(self) -> List[str]:
+        """Zones with at least one in-rotation server."""
+        return [zone for zone in self._zones if self.zone_servers(zone)]
+
+    # -- resolution -----------------------------------------------------
+
+    def resolve(self, country: str, rng: Optional[random.Random] = None) -> Optional[int]:
+        """GeoDNS lookup: one server address for a client in ``country``.
+
+        Selection is netspeed-weighted within the client's country zone;
+        clients in empty zones fall back to the global rotation across
+        all advertised servers.
+        """
+        chooser = rng or self._rng
+        candidates = self.zone_servers(country)
+        if not candidates:
+            candidates = [s for s in self._servers.values() if s.in_rotation]
+        if not candidates:
+            return None
+        weights = [server.netspeed for server in candidates]
+        return chooser.choices(candidates, weights=weights, k=1)[0].address
+
+    # -- monitoring -----------------------------------------------------
+
+    def run_monitor(self) -> None:
+        """Probe every registered server once and update scores.
+
+        Healthy responses move the score toward :data:`SCORE_MAX`;
+        failures subtract 5 points, dropping a dead server out of
+        rotation after a couple of rounds — the real pool's dynamic.
+        """
+        if self._monitor_client is None:
+            raise RuntimeError("pool constructed without a monitor address")
+        for server in self._servers.values():
+            result = self._monitor_client.query(server.address)
+            if result is not None and result.stratum > 0:
+                server.score = min(SCORE_MAX, server.score + 1.0)
+            else:
+                server.score = max(SCORE_MIN, server.score - 5.0)
+
+
+def weighted_request_rates(pool: NtpPool, zone_demand: Dict[str, float]) -> Dict[int, float]:
+    """Expected request share per server given per-zone client demand.
+
+    A closed-form companion to the event-driven simulation: demand of a
+    populated zone is split across its rotation by netspeed; demand of
+    empty zones is split across the global rotation.  Used by tests to
+    cross-check the emergent collection volumes.
+    """
+    rates: Dict[int, float] = {server.address: 0.0 for server in pool.servers}
+    all_rotation = [s for s in pool.servers if s.in_rotation]
+    global_weight = sum(s.netspeed for s in all_rotation)
+    for zone, demand in zone_demand.items():
+        members = pool.zone_servers(zone)
+        if members:
+            total = sum(s.netspeed for s in members)
+            for server in members:
+                rates[server.address] += demand * server.netspeed / total
+        elif global_weight:
+            for server in all_rotation:
+                rates[server.address] += demand * server.netspeed / global_weight
+    return rates

@@ -1,0 +1,132 @@
+"""An SNTP server with a client-address capture hook.
+
+This is the reproduction's analogue of the paper's "NTP servers
+modified to capture client addresses": a standards-conforming mode-3 →
+mode-4 responder whose every valid request is also reported to an
+observer callback carrying the client's source address and the request
+timestamp.  The :mod:`repro.core.collector` subscribes to that hook.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.net.clock import VirtualClock
+from repro.net.packet import Datagram
+from repro.net.simnet import Network
+from repro.ntp.packet import (
+    KISS_RATE,
+    Mode,
+    NtpDecodeError,
+    NtpPacket,
+    kiss_of_death,
+    server_response,
+)
+
+#: UDP port NTP listens on.
+NTP_PORT = 123
+
+#: Observer signature: (client_address, client_port, request, sim_time).
+CaptureHook = Callable[[int, int, NtpPacket, float], None]
+
+
+@dataclass
+class ServerStats:
+    """Operational counters of one NTP server."""
+
+    requests: int = 0
+    responses: int = 0
+    malformed: int = 0
+    wrong_mode: int = 0
+    rate_limited: int = 0
+
+
+class NtpServer:
+    """A pool-member SNTP server bound to one simulated address.
+
+    Parameters
+    ----------
+    network, clock:
+        The simulated fabric and its clock.
+    address:
+        The server's IPv6 address (registered as a host if needed).
+    stratum:
+        Advertised stratum (pool servers are typically 2).
+    capture:
+        Optional hooks invoked for every valid client request — the
+        paper's address-collection modification.
+    """
+
+    def __init__(self, network: Network, address: int, *,
+                 stratum: int = 2,
+                 clock: Optional[VirtualClock] = None,
+                 location: str = "",
+                 min_interval: float = 0.0) -> None:
+        """``min_interval`` > 0 enables per-client rate limiting: a
+        client querying faster receives a RATE kiss-o'-death instead of
+        time (RFC 5905 §7.4) — real pool members defend themselves this
+        way against abusive clients."""
+        self.network = network
+        self.address = address
+        self.stratum = stratum
+        self.clock = clock or network.clock
+        self.location = location
+        self.min_interval = min_interval
+        self.stats = ServerStats()
+        self._capture_hooks: List[CaptureHook] = []
+        self._last_request: dict = {}
+        self._serving = True
+        host = network.add_host(address)
+        host.bind_udp(NTP_PORT, self._handle)
+
+    def add_capture_hook(self, hook: CaptureHook) -> None:
+        """Register an address-capture observer."""
+        self._capture_hooks.append(hook)
+
+    @property
+    def serving(self) -> bool:
+        """Whether the server answers requests (pool de-registration
+        leaves the server up but eventually idle)."""
+        return self._serving
+
+    def stop(self) -> None:
+        """Stop answering (models shutdown after the de-advertising grace)."""
+        self._serving = False
+
+    def _handle(self, datagram: Datagram) -> Optional[bytes]:
+        if not self._serving:
+            return None
+        self.stats.requests += 1
+        try:
+            request = NtpPacket.decode(datagram.payload)
+        except NtpDecodeError:
+            self.stats.malformed += 1
+            return None
+        if request.mode is not Mode.CLIENT:
+            self.stats.wrong_mode += 1
+            return None
+        now = self.clock.now()
+        if self.min_interval > 0:
+            last = self._last_request.get(datagram.src)
+            self._last_request[datagram.src] = now
+            if last is not None and now - last < self.min_interval:
+                self.stats.rate_limited += 1
+                return kiss_of_death(request, KISS_RATE).encode()
+        for hook in self._capture_hooks:
+            hook(datagram.src, datagram.src_port, request, now)
+        response = server_response(
+            request,
+            receive_time=now,
+            transmit_time=now,
+            stratum=self.stratum,
+            reference_id=_reference_id(self.location),
+        )
+        self.stats.responses += 1
+        return response.encode()
+
+
+def _reference_id(location: str) -> int:
+    """Derive a stable 32-bit reference ID from the server's location tag."""
+    tag = (location or "SIM").upper().encode("ascii", "replace")[:4].ljust(4, b"\0")
+    return int.from_bytes(tag, "big")

@@ -1,0 +1,5 @@
+"""Application-protocol codecs shared by device services and scan modules."""
+
+from repro.proto import amqp, coap, http, mqtt, ssh
+
+__all__ = ["amqp", "coap", "http", "mqtt", "ssh"]

@@ -1,0 +1,68 @@
+"""TLS-wrapped TCP sessions.
+
+Device models expose HTTPS/MQTTS/AMQPS by putting a
+:class:`repro.tlslib.TlsTerminator` in front of an inner session: the
+first client write must be a ClientHello (answered with the server
+flight or an alert), after which the session switches to the inner
+protocol.  The simulated channel carries inner-protocol bytes in the
+clear — encryption is not an observable any analysis consumes — but the
+handshake gate is real: no certificate exchange, no application data.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.tlslib.handshake import RECORD_ALERT, TlsTerminator
+
+
+class TlsWrappedSession:
+    """State machine: TLS handshake first, inner protocol afterwards."""
+
+    def __init__(self, terminator: TlsTerminator, inner) -> None:
+        self._terminator = terminator
+        self._inner = inner
+        self._established = False
+        self.closed = False
+
+    def greeting(self) -> bytes:
+        # TLS servers speak only after the ClientHello; inner greetings
+        # (e.g. an SSH banner would never be TLS-wrapped anyway) are
+        # delivered with the first inner response instead.
+        return b""
+
+    def on_data(self, data: bytes) -> Optional[bytes]:
+        if not self._established:
+            response = self._terminator.respond(data)
+            if response[:1] == bytes((RECORD_ALERT,)):
+                self.closed = True
+                return response
+            self._established = True
+            greeting = self._inner.greeting()
+            return response + greeting if greeting else response
+        response = self._inner.on_data(data)
+        if getattr(self._inner, "closed", False):
+            self.closed = True
+        return response
+
+
+class TlsService:
+    """A TCP service factory wrapping an inner session factory in TLS."""
+
+    def __init__(self, terminator: TlsTerminator,
+                 inner_factory: Callable[[], object]) -> None:
+        self._terminator = terminator
+        self._inner_factory = inner_factory
+
+    def accept(self, peer: int, peer_port: int) -> TlsWrappedSession:
+        return TlsWrappedSession(self._terminator, self._inner_factory())
+
+
+class PlainService:
+    """A TCP service factory producing plain inner sessions."""
+
+    def __init__(self, factory: Callable[[], object]) -> None:
+        self._factory = factory
+
+    def accept(self, peer: int, peer_port: int):
+        return self._factory()

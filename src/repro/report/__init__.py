@@ -1,0 +1,21 @@
+"""Rendering helpers for tables and shape reports."""
+
+from repro.report.study import render_full_report
+from repro.report.formatting import (
+    fmt_float,
+    fmt_int,
+    fmt_pct,
+    fmt_permille,
+    render_table,
+    shape_check,
+)
+
+__all__ = [
+    "fmt_float",
+    "fmt_int",
+    "fmt_pct",
+    "fmt_permille",
+    "render_full_report",
+    "render_table",
+    "shape_check",
+]

@@ -1,0 +1,35 @@
+"""Scanning substrate: engine, rate limiting, protocol grab modules."""
+
+from repro.scan.engine import EngineConfig, EngineStats, ScanEngine
+from repro.scan.ethics import EthicsPolicy, OptOutList, publish_scanner_identity
+from repro.scan.ratelimit import TokenBucket
+from repro.scan.result import (
+    PROTOCOL_PORTS,
+    PROTOCOLS,
+    TLS_PROTOCOLS,
+    BrokerGrab,
+    CoapGrab,
+    HttpGrab,
+    ScanResults,
+    SshGrab,
+    TlsObservation,
+)
+
+__all__ = [
+    "BrokerGrab",
+    "CoapGrab",
+    "EngineConfig",
+    "EngineStats",
+    "EthicsPolicy",
+    "OptOutList",
+    "HttpGrab",
+    "PROTOCOLS",
+    "PROTOCOL_PORTS",
+    "ScanEngine",
+    "ScanResults",
+    "SshGrab",
+    "TLS_PROTOCOLS",
+    "TlsObservation",
+    "TokenBucket",
+    "publish_scanner_identity",
+]

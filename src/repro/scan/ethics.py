@@ -1,0 +1,110 @@
+"""Good-Internet-citizenship machinery (paper Appendix A.2).
+
+Two concrete mechanisms from the paper's ethics setup:
+
+* an **opt-out blocklist** — operators who ask to be excluded are never
+  probed again; the engine consults the list before every target
+  (addresses and whole prefixes);
+* a **scanner info page** — the scan source addresses themselves serve
+  a web page explaining purpose, scope, and how to opt out, and are
+  identified in reverse DNS; anyone investigating the probes finds the
+  explanation immediately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Tuple
+
+from repro.ipv6 import address as addrmod
+from repro.net.rdns import ReverseDns
+from repro.net.simnet import Network
+from repro.proto.http import HttpServerSession
+from repro.proto.tls_session import PlainService
+
+#: The info page's title (what a scanned party's curl would show).
+INFO_TITLE = "IPv6 research scan — purpose, scope, opt-out"
+
+INFO_BODY = (
+    "This address performs academic Internet measurements. "
+    "We scan a small set of well-known service ports at low rates, "
+    "never exploit anything, and honour every opt-out request. "
+    "Contact: research-scan@comsys.example.edu"
+)
+
+
+class OptOutList:
+    """Prefix-aware exclusion list consulted before every probe.
+
+    Entries are (base, prefix_length); single addresses are /128.
+    Membership tests are O(number of distinct prefix lengths).
+    """
+
+    def __init__(self) -> None:
+        self._by_length: dict[int, set] = {}
+        self._entries: List[Tuple[int, int]] = []
+
+    def add(self, base: int, length: int = 128) -> None:
+        """Exclude an address (/128) or a whole prefix."""
+        if not 0 <= length <= 128:
+            raise ValueError(f"prefix length out of range: {length}")
+        key = addrmod.network_key(base, length)
+        self._by_length.setdefault(length, set()).add(key)
+        self._entries.append((addrmod.prefix(base, length), length))
+
+    def add_network(self, text: str) -> None:
+        """Exclude CIDR notation (``2001:db8::/48``) or one address."""
+        if "/" in text:
+            base, length = addrmod.parse_network(text)
+        else:
+            base, length = addrmod.parse(text), 128
+        self.add(base, length)
+
+    def blocked(self, address: int) -> bool:
+        """Whether a target must not be probed."""
+        for length, keys in self._by_length.items():
+            if addrmod.network_key(address, length) in keys:
+                return True
+        return False
+
+    @property
+    def entries(self) -> Tuple[Tuple[int, int], ...]:
+        return tuple(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+@dataclass
+class EthicsPolicy:
+    """Bundles the engine's citizenship configuration."""
+
+    opt_out: OptOutList = field(default_factory=OptOutList)
+    contact: str = "research-scan@comsys.example.edu"
+    #: Suppressed probe attempts (targets on the opt-out list).
+    suppressed: int = 0
+
+    def permits(self, target: int) -> bool:
+        """Check a target; counts suppressions for reporting."""
+        if self.opt_out.blocked(target):
+            self.suppressed += 1
+            return False
+        return True
+
+
+def publish_scanner_identity(network: Network, source: int,
+                             rdns: Optional[ReverseDns] = None,
+                             ptr_name: str = "ipv6-research-scan.example.edu"
+                             ) -> None:
+    """Make a scan source self-identifying (Appendix A.2.2).
+
+    Binds the explanation page on ports 80/443-less HTTP (plain 80 — a
+    probe target investigating us should not need a TLS stack) and
+    publishes a research PTR record.
+    """
+    host = network.add_host(source, reachable=True)
+    if 80 not in host.tcp_services:
+        host.bind_tcp(80, PlainService(
+            lambda: HttpServerSession(INFO_TITLE, body_extra=INFO_BODY)))
+    if rdns is not None:
+        rdns.register(source, ptr_name)

@@ -1,0 +1,18 @@
+"""Per-protocol scan modules (the zgrab2 module analogues)."""
+
+from repro.scan.modules.amqp import scan_amqp, scan_amqps
+from repro.scan.modules.coap import scan_coap
+from repro.scan.modules.http import scan_http, scan_https
+from repro.scan.modules.mqtt import scan_mqtt, scan_mqtts
+from repro.scan.modules.ssh import scan_ssh
+
+__all__ = [
+    "scan_amqp",
+    "scan_amqps",
+    "scan_coap",
+    "scan_http",
+    "scan_https",
+    "scan_mqtt",
+    "scan_mqtts",
+    "scan_ssh",
+]

@@ -1,0 +1,40 @@
+"""TLS substrate: keys, certificates, and a byte-level mini handshake."""
+
+from repro.tlslib.certificate import (
+    PUBLIC_CA,
+    Certificate,
+    CertificateDecodeError,
+    issue_public,
+    issue_self_signed,
+)
+from repro.tlslib.handshake import (
+    ALERT_HANDSHAKE_FAILURE,
+    ALERT_UNRECOGNIZED_NAME,
+    HandshakeResult,
+    HandshakeStatus,
+    TlsTerminator,
+    client_hello,
+    parse_client_hello,
+    perform_handshake,
+)
+from repro.tlslib.keys import KeyIdentity, KeyPool, derive_key, unique_fingerprints
+
+__all__ = [
+    "ALERT_HANDSHAKE_FAILURE",
+    "ALERT_UNRECOGNIZED_NAME",
+    "Certificate",
+    "CertificateDecodeError",
+    "HandshakeResult",
+    "HandshakeStatus",
+    "KeyIdentity",
+    "KeyPool",
+    "PUBLIC_CA",
+    "TlsTerminator",
+    "client_hello",
+    "derive_key",
+    "issue_public",
+    "issue_self_signed",
+    "parse_client_hello",
+    "perform_handshake",
+    "unique_fingerprints",
+]

@@ -1,0 +1,30 @@
+"""Synthetic Internet population: ASes, geography, devices, churn, hitlist."""
+
+from repro.world.asdb import AsDatabase, AutonomousSystem, build_asdb
+from repro.world.churn import ChurnModel, Premises
+from repro.world.devices import Device
+from repro.world.geo import DEPLOYMENT_COUNTRIES, Country, GeoDatabase, default_geo
+from repro.world.hitlist import Hitlist, HitlistConfig, build_hitlist
+from repro.world.population import World, WorldConfig, build_world
+from repro.world.tga import EntropyTga, train as train_tga
+
+__all__ = [
+    "AsDatabase",
+    "AutonomousSystem",
+    "ChurnModel",
+    "Country",
+    "DEPLOYMENT_COUNTRIES",
+    "Device",
+    "GeoDatabase",
+    "Hitlist",
+    "HitlistConfig",
+    "Premises",
+    "World",
+    "WorldConfig",
+    "EntropyTga",
+    "build_asdb",
+    "build_hitlist",
+    "build_world",
+    "default_geo",
+    "train_tga",
+]

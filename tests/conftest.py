@@ -1,0 +1,57 @@
+"""Shared fixtures.
+
+Expensive artefacts (a small world, a full small-scale experiment) are
+session-scoped: many test modules read them, none mutates them in ways
+that break isolation (tests that need mutation build their own).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.campaign import CampaignConfig
+from repro.core.pipeline import ExperimentConfig, run_experiment
+from repro.net.simnet import Network
+from repro.world.population import World, WorldConfig, build_world
+
+#: A scale small enough for seconds-fast tests but large enough that
+#: every device type and protocol appears.
+TEST_SCALE = 0.16
+
+
+def small_world_config(**overrides) -> WorldConfig:
+    defaults = dict(seed=20240720, scale=TEST_SCALE)
+    defaults.update(overrides)
+    return WorldConfig(**defaults)
+
+
+@pytest.fixture(scope="session")
+def world() -> World:
+    """A read-only small world shared across test modules."""
+    return build_world(small_world_config())
+
+
+@pytest.fixture()
+def fresh_world() -> World:
+    """A private world for tests that mutate (churn, campaigns)."""
+    return build_world(small_world_config())
+
+
+@pytest.fixture()
+def network() -> Network:
+    """An empty network with a fresh virtual clock."""
+    return Network()
+
+
+@pytest.fixture(scope="session")
+def experiment():
+    """One full small-scale experiment, shared by the analysis tests."""
+    config = ExperimentConfig(
+        world=small_world_config(),
+        campaign=CampaignConfig(days=21, wire_fraction=0.02),
+        rl_days=4,
+        gap_days=4,
+        lead_days=14,
+        final_days=7,
+    )
+    return run_experiment(config)

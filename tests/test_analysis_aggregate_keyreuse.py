@@ -1,0 +1,136 @@
+"""Tests for Appendix-C aggregation and Section-6 key reuse."""
+
+import pytest
+
+from repro.analysis import aggregate, keyreuse
+from repro.scan.result import HttpGrab, ScanResults, SshGrab, TlsObservation
+from repro.world.asdb import EYEBALL, AsDatabase, AutonomousSystem
+
+
+@pytest.fixture()
+def asdb():
+    db = AsDatabase()
+    for asn in (1, 2, 3, 4):
+        db.register(AutonomousSystem(asn, f"AS-{asn}", EYEBALL, "DE"))
+    return db
+
+
+def _ssh(address, key):
+    return SshGrab(address=address, time=0, ok=True,
+                   banner="SSH-2.0-OpenSSH_9.2p1 Debian-2+deb12u3",
+                   software="OpenSSH_9.2p1", comment="Debian-2+deb12u3",
+                   key_fingerprint=key)
+
+
+def _https(address, fingerprint, status=200):
+    return HttpGrab(address=address, time=0, port=443, ok=True,
+                    status=status, title="t",
+                    tls=TlsObservation(ok=True, fingerprint=fingerprint))
+
+
+class TestAggregate:
+    def test_protocol_aggregate_levels(self, asdb):
+        results = ScanResults()
+        block = asdb.blocks_of(1)[0]
+        results.add(_ssh(block + 1, b"k1"))
+        results.add(_ssh(block + 2, b"k2"))
+        results.add(_ssh(block + (1 << 64) + 1, b"k3"))  # a second /64
+        agg = aggregate.aggregate_protocol(results, "ssh", asdb)
+        assert agg["addrs"] == 3
+        assert agg["/64"] == 2
+        assert agg["/48"] == 1
+        assert agg["ASes"] == 1
+        assert agg["countries"] == 1
+
+    def test_table5_all_protocols(self, asdb):
+        table = aggregate.table5(ScanResults(), asdb)
+        assert set(table) == set(
+            ("http", "https", "ssh", "mqtt", "mqtts", "amqp", "amqps",
+             "coap"))
+
+    def test_gap_factor_shrinks_with_aggregation(self, asdb):
+        """The paper's Appendix-C observation, in miniature: many
+        hitlist addresses in one network vs few NTP addresses in many
+        networks -> the gap shrinks at coarser granularity."""
+        ntp = ScanResults()
+        hitlist = ScanResults()
+        block1, block2 = asdb.blocks_of(1)[0], asdb.blocks_of(2)[0]
+        for index in range(10):  # 10 addrs, one /64
+            hitlist.add(_ssh(block1 + index + 1, bytes([index])))
+        for index in range(2):   # 2 addrs, two /48s
+            ntp.add(_ssh(block2 + (index << 80) + 1, bytes([100 + index])))
+        agg_ntp = aggregate.aggregate_protocol(ntp, "ssh", asdb)
+        agg_hit = aggregate.aggregate_protocol(hitlist, "ssh", asdb)
+        assert aggregate.gap_factor(agg_ntp, agg_hit, "addrs") == 5.0
+        assert aggregate.gap_factor(agg_ntp, agg_hit, "/48") == 0.5
+
+    def test_gap_factor_zero_ntp(self, asdb):
+        empty = aggregate.aggregate_protocol(ScanResults(), "ssh", asdb)
+        assert aggregate.gap_factor(empty, empty, "addrs") == 1.0
+
+    def test_count_by_networks(self):
+        counts = aggregate.count_by_networks([1, 2, (1 << 80) + 1])
+        assert counts["IPs"] == 3
+        assert counts["/48"] == 2
+
+    def test_group_tables(self, asdb):
+        results = ScanResults()
+        block = asdb.blocks_of(1)[0]
+        results.add(_ssh(block + 1, b"k1"))
+        groups = aggregate.ssh_os_addresses(results)
+        assert groups == {"Debian": {block + 1}}
+        table = aggregate.group_network_table(groups)
+        assert table["Debian"]["IPs"] == 1
+
+
+class TestKeyReuse:
+    def test_reuse_across_many_ases_detected(self, asdb):
+        results = ScanResults()
+        for asn in (1, 2, 3):
+            results.add(_ssh(asdb.blocks_of(asn)[0] + 1, b"shared"))
+        report = keyreuse.analyze("x", results, asdb)
+        assert report.reused_key_count == 1
+        assert report.most_used.addresses == 3
+        assert report.most_used.ases == 3
+
+    def test_two_ases_not_reuse(self, asdb):
+        """Dual-homing allowance: <= 2 ASes is not counted."""
+        results = ScanResults()
+        for asn in (1, 2):
+            results.add(_ssh(asdb.blocks_of(asn)[0] + 1, b"shared"))
+        report = keyreuse.analyze("x", results, asdb)
+        assert report.reused_key_count == 0
+
+    def test_https_certificates_included(self, asdb):
+        results = ScanResults()
+        for asn in (1, 2, 3):
+            results.add(_https(asdb.blocks_of(asn)[0] + 1, b"cert"))
+        report = keyreuse.analyze("x", results, asdb)
+        assert report.reused_key_count == 1
+
+    def test_non_200_https_excluded(self, asdb):
+        results = ScanResults()
+        for asn in (1, 2, 3):
+            results.add(_https(asdb.blocks_of(asn)[0] + 1, b"cert",
+                               status=404))
+        report = keyreuse.analyze("x", results, asdb)
+        assert report.reused_key_count == 0
+
+    def test_most_widespread_vs_most_used(self, asdb):
+        results = ScanResults()
+        # key A: many addresses, 3 ASes
+        for index, asn in enumerate((1, 2, 3)):
+            block = asdb.blocks_of(asn)[0]
+            results.add(_ssh(block + 1, b"A"))
+            results.add(_ssh(block + 2, b"A"))
+        # key B: fewer addresses, 4 ASes
+        for asn in (1, 2, 3, 4):
+            results.add(_ssh(asdb.blocks_of(asn)[0] + 9, b"B"))
+        report = keyreuse.analyze("x", results, asdb)
+        assert report.most_used.addresses == 6
+        assert report.most_widespread.ases == 4
+
+    def test_empty(self, asdb):
+        report = keyreuse.analyze("x", ScanResults(), asdb)
+        assert report.most_used is None
+        assert report.addresses_per_key == 0.0

@@ -1,0 +1,118 @@
+"""Unit and property tests for Levenshtein distance and title clustering."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.levenshtein import (
+    TitleClusterer,
+    cluster_counts,
+    distance,
+    normalized_distance,
+    within,
+)
+
+SHORT_TEXT = st.text(alphabet="abcdef !", max_size=12)
+
+
+class TestDistance:
+    @pytest.mark.parametrize("left,right,expected", [
+        ("", "", 0),
+        ("abc", "abc", 0),
+        ("abc", "", 3),
+        ("", "abc", 3),
+        ("kitten", "sitting", 3),
+        ("flaw", "lawn", 2),
+        ("FRITZ!Box 7590", "FRITZ!Box 7490", 1),
+    ])
+    def test_known_values(self, left, right, expected):
+        assert distance(left, right) == expected
+
+    @given(SHORT_TEXT, SHORT_TEXT)
+    def test_symmetry(self, left, right):
+        assert distance(left, right) == distance(right, left)
+
+    @given(SHORT_TEXT, SHORT_TEXT)
+    def test_bounds(self, left, right):
+        d = distance(left, right)
+        assert abs(len(left) - len(right)) <= d <= max(len(left), len(right))
+
+    @given(SHORT_TEXT, SHORT_TEXT, SHORT_TEXT)
+    @settings(max_examples=40)
+    def test_triangle_inequality(self, a, b, c):
+        assert distance(a, c) <= distance(a, b) + distance(b, c)
+
+    @given(SHORT_TEXT)
+    def test_identity(self, text):
+        assert distance(text, text) == 0
+
+
+class TestNormalized:
+    def test_empty_pair(self):
+        assert normalized_distance("", "") == 0.0
+
+    def test_scales_to_one(self):
+        assert normalized_distance("abc", "xyz") == 1.0
+
+    def test_version_variation_within_quarter(self):
+        """The paper's motivating case: version strings group together."""
+        assert within("Plesk Obsidian 18.0.34", "Plesk Obsidian 18.0.52")
+
+    def test_different_products_not_within(self):
+        assert not within("FRITZ!Box", "D-LINK")
+
+    @given(SHORT_TEXT, SHORT_TEXT)
+    def test_range(self, left, right):
+        assert 0.0 <= normalized_distance(left, right) <= 1.0
+
+    def test_length_shortcut_consistent(self):
+        # 'within' must agree with the exact computation.
+        pairs = [("abcdefgh", "ab"), ("aaaa", "aaab"), ("x", "xy")]
+        for left, right in pairs:
+            assert within(left, right) == \
+                (normalized_distance(left, right) <= 0.25)
+
+
+class TestClusterer:
+    def test_near_titles_group(self):
+        clusterer = TitleClusterer()
+        clusterer.add("FRITZ!Box 7590")
+        clusterer.add("FRITZ!Box 7490")
+        clusterer.add("D-LINK Router")
+        assert len(clusterer.groups) == 2
+
+    def test_counts_accumulate(self):
+        clusterer = TitleClusterer()
+        clusterer.add("FRITZ!Box", count=10)
+        clusterer.add("FRITZ!Box", count=5)
+        group = clusterer.group_of("FRITZ!Box")
+        assert group.count == 15
+
+    def test_representative_is_first(self):
+        clusterer = TitleClusterer()
+        clusterer.add("Plesk Obsidian 18.0.34")
+        group = clusterer.add("Plesk Obsidian 18.0.52")
+        assert group.representative == "Plesk Obsidian 18.0.34"
+
+    def test_exact_fast_path(self):
+        clusterer = TitleClusterer()
+        first = clusterer.add("Welcome to nginx!")
+        second = clusterer.add("Welcome to nginx!")
+        assert first is second
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            TitleClusterer(threshold=2.0)
+
+    def test_cluster_counts_sorted(self):
+        groups = cluster_counts([
+            ("FRITZ!Box", 100),
+            ("D-LINK", 10),
+            ("FRITZ!Box 2", 3),
+        ])
+        assert groups[0].representative == "FRITZ!Box"
+        assert groups[0].count == 103
+        assert groups[1].count == 10
+
+    def test_group_of_unknown(self):
+        assert TitleClusterer().group_of("nope") is None

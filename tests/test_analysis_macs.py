@@ -1,0 +1,105 @@
+"""Tests for the Appendix-B MAC/vendor analysis."""
+
+import pytest
+
+from repro.analysis import macs
+from repro.core.collector import CollectedDataset
+from repro.ipv6 import eui64
+from repro.ipv6.address import parse, with_iid
+from repro.ipv6.oui import LOCAL_OUI, UNLISTED_OUI, default_registry
+
+PREFIX = parse("2001:db8::")
+RPI_OUI = 0xB827EB
+
+
+def _eui64_addr(mac, prefix=PREFIX):
+    return with_iid(prefix, eui64.mac_to_iid(mac))
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return default_registry()
+
+
+class TestAnalyzeAddresses:
+    def test_counts(self, registry):
+        addresses = [
+            _eui64_addr((RPI_OUI << 24) | 1),
+            _eui64_addr((RPI_OUI << 24) | 1, prefix=parse("2001:db8:1::")),
+            _eui64_addr((RPI_OUI << 24) | 2),
+            parse("2001:db8::abcd:ef12:3456:9abc"),  # privacy, no MAC
+        ]
+        report = macs.analyze_addresses(addresses, registry)
+        assert report.total_addresses == 4
+        assert report.eui64_addresses == 3
+        assert report.distinct_unique_macs == 2
+        assert report.eui64_share == pytest.approx(0.75)
+        row = report.vendor("Raspberry Pi Foundation")
+        assert row.mac_count == 2
+        assert row.ip_count == 3
+
+    def test_local_macs_filtered(self, registry):
+        addresses = [_eui64_addr((LOCAL_OUI << 24) | 1)]
+        report = macs.analyze_addresses(addresses, registry)
+        assert report.eui64_addresses == 1
+        assert report.unique_bit_addresses == 0
+        assert report.distinct_unique_macs == 0
+
+    def test_unlisted_bucket(self, registry):
+        addresses = [_eui64_addr((UNLISTED_OUI << 24) | 1)]
+        report = macs.analyze_addresses(addresses, registry)
+        assert report.vendor(macs.UNLISTED).mac_count == 1
+        assert report.listed_macs == 0
+
+    def test_ranking_order(self, registry):
+        addresses = [_eui64_addr((RPI_OUI << 24) | i) for i in range(5)]
+        addresses += [_eui64_addr((0x000E58 << 24) | 1)]  # Sonos
+        report = macs.analyze_addresses(addresses, registry)
+        assert report.vendor_rows[0].vendor == "Raspberry Pi Foundation"
+        assert report.top_vendors(1)[0].mac_count == 5
+
+    def test_empty(self, registry):
+        report = macs.analyze_addresses([], registry)
+        assert report.eui64_share == 0.0
+        assert report.vendor_rows == ()
+
+
+class TestClassify:
+    def test_listed(self, registry):
+        assert macs.classify_mac_address(
+            _eui64_addr((RPI_OUI << 24) | 1), registry) == "listed"
+
+    def test_unlisted_unique(self, registry):
+        assert macs.classify_mac_address(
+            _eui64_addr((UNLISTED_OUI << 24) | 1), registry) == \
+            "unlisted-unique"
+
+    def test_local(self, registry):
+        assert macs.classify_mac_address(
+            _eui64_addr((LOCAL_OUI << 24) | 1), registry) == "local"
+
+    def test_non_eui64_none(self, registry):
+        assert macs.classify_mac_address(parse("2001:db8::1"), registry) \
+            is None
+
+
+class TestServerDistribution:
+    def test_figure4_shares(self, registry):
+        dataset = CollectedDataset()
+        listed = _eui64_addr((RPI_OUI << 24) | 1)
+        local = _eui64_addr((LOCAL_OUI << 24) | 1, prefix=parse("2001:db8:2::"))
+        dataset.record(listed, 0.0, "Germany")
+        dataset.record(local, 0.0, "India")
+        shares = macs.server_location_distribution(dataset, registry)
+        assert shares["listed"] == {"Germany": 1.0}
+        assert shares["local"] == {"India": 1.0}
+        assert shares["unlisted-unique"] == {}
+
+    def test_shares_sum_to_one(self, registry):
+        dataset = CollectedDataset()
+        for index in range(4):
+            dataset.record(_eui64_addr((RPI_OUI << 24) | index,
+                                       prefix=PREFIX + (index << 64)),
+                           0.0, "Germany" if index % 2 else "India")
+        shares = macs.server_location_distribution(dataset, registry)
+        assert sum(shares["listed"].values()) == pytest.approx(1.0)

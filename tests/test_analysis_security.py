@@ -1,0 +1,144 @@
+"""Tests for the security analyses (Figures 2-3, the headline gap)."""
+
+import pytest
+
+from repro.analysis import security
+from repro.scan.result import BrokerGrab, ScanResults, SshGrab
+
+
+def _ssh(address, comment, key=b"k", software="OpenSSH_9.2p1", ok=True):
+    return SshGrab(address=address, time=0, ok=ok,
+                   banner=f"SSH-2.0-{software} {comment}",
+                   software=software, comment=comment,
+                   key_algorithm="ssh-ed25519",
+                   key_fingerprint=key)
+
+
+def _broker(address, protocol, open_access, port=1883):
+    return BrokerGrab(address=address, time=0, port=port, protocol=protocol,
+                      ok=True, open_access=open_access)
+
+
+class TestSshOutdatedness:
+    def test_latest_not_outdated(self):
+        results = ScanResults()
+        results.add(_ssh(1, "Debian-2+deb12u3", key=b"a"))
+        report = security.ssh_outdatedness("x", results)
+        assert report.assessed == 1
+        assert report.outdated == 0
+
+    def test_old_patch_outdated(self):
+        results = ScanResults()
+        results.add(_ssh(1, "Debian-2+deb12u1", key=b"a"))
+        report = security.ssh_outdatedness("x", results)
+        assert report.outdated == 1
+        assert report.outdated_share == 1.0
+
+    def test_freebsd_unassessable(self):
+        results = ScanResults()
+        results.add(_ssh(1, "FreeBSD-20240318", key=b"a",
+                         software="OpenSSH_9.6"))
+        report = security.ssh_outdatedness("x", results)
+        assert report.assessed == 0
+        assert report.unassessable == 1
+
+    def test_dedup_by_key(self):
+        results = ScanResults()
+        results.add(_ssh(1, "Debian-2+deb12u1", key=b"shared"))
+        results.add(_ssh(2, "Debian-2+deb12u1", key=b"shared"))
+        report = security.ssh_outdatedness("x", results, by_key=True)
+        assert report.assessed == 1
+
+    def test_by_address_counts_reuse(self):
+        """Figure 5's view: key reuse inflates per-address counts."""
+        results = ScanResults()
+        results.add(_ssh(1, "Debian-2+deb12u1", key=b"shared"))
+        results.add(_ssh(2, "Debian-2+deb12u1", key=b"shared"))
+        report = security.ssh_outdatedness("x", results, by_key=False)
+        assert report.assessed == 2
+        assert report.outdated == 2
+
+    def test_failed_grabs_ignored(self):
+        results = ScanResults()
+        results.add(SshGrab(address=1, time=0, ok=False))
+        report = security.ssh_outdatedness("x", results)
+        assert report.assessed == 0
+
+    def test_unknown_release_unassessable(self):
+        results = ScanResults()
+        results.add(_ssh(1, "Debian-99", key=b"a", software="OpenSSH_1.0p1"))
+        report = security.ssh_outdatedness("x", results)
+        assert report.unassessable == 1
+
+
+class TestBrokerAccessControl:
+    def test_open_vs_controlled(self):
+        results = ScanResults()
+        results.add(_broker(1, "mqtt", True))
+        results.add(_broker(2, "mqtt", False))
+        results.add(_broker(3, "mqtt", False))
+        report = security.broker_access_control("x", results, "mqtt")
+        assert report.total == 3
+        assert report.access_control_share == pytest.approx(2 / 3)
+        assert report.open_share == pytest.approx(1 / 3)
+
+    def test_tls_variant_merged(self):
+        results = ScanResults()
+        results.add(_broker(1, "mqtt", True))
+        results.add(_broker(2, "mqtts", False, port=8883))
+        report = security.broker_access_control("x", results, "mqtt")
+        assert report.total == 2
+
+    def test_tls_variant_excluded_on_request(self):
+        results = ScanResults()
+        results.add(_broker(1, "mqtt", True))
+        results.add(_broker(2, "mqtts", False, port=8883))
+        report = security.broker_access_control("x", results, "mqtt",
+                                                include_tls_variant=False)
+        assert report.total == 1
+
+    def test_dedup_by_address(self):
+        results = ScanResults()
+        results.add(_broker(1, "mqtt", True))
+        results.add(_broker(1, "mqtt", True))
+        report = security.broker_access_control("x", results, "mqtt")
+        assert report.total == 1
+
+    def test_network_grouping(self):
+        """Figure 6's view: group by /64 instead of address."""
+        results = ScanResults()
+        results.add(_broker(0x20010DB8_0000_0000_0000_0000_0000_0001, "mqtt", True))
+        results.add(_broker(0x20010DB8_0000_0000_0000_0000_0000_0002, "mqtt", True))
+        report = security.broker_access_control("x", results, "mqtt",
+                                                by_network=64)
+        assert report.total == 1
+
+    def test_unknown_outcomes_separate(self):
+        results = ScanResults()
+        results.add(_broker(1, "amqp", None, port=5672))
+        report = security.broker_access_control("x", results, "amqp")
+        assert report.unknown == 1
+        assert report.total == 0
+        assert report.access_control_share == 0.0
+
+
+class TestSecureShare:
+    def test_combination(self):
+        results = ScanResults()
+        results.add(_ssh(1, "Debian-2+deb12u3", key=b"a"))   # secure
+        results.add(_ssh(2, "Debian-2+deb12u1", key=b"b"))   # outdated
+        results.add(_broker(3, "mqtt", False))               # secure
+        results.add(_broker(4, "mqtt", True))                # open
+        report = security.secure_share("x", results)
+        assert report.total == 4
+        assert report.secure == 2
+        assert report.secure_share == 0.5
+
+    def test_empty(self):
+        report = security.secure_share("x", ScanResults())
+        assert report.secure_share == 0.0
+
+    def test_gap_pair(self):
+        ntp, hitlist = security.security_gap(ScanResults(), ScanResults())
+        assert ntp.label == "ntp"
+        assert hitlist.label == "hitlist"

@@ -1,0 +1,81 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["world"])
+        assert args.scale == 0.2
+        assert args.seed == 20240720
+
+    def test_study_flags(self):
+        args = build_parser().parse_args(
+            ["study", "--scale", "0.1", "--no-rl"])
+        assert args.scale == 0.1
+        assert args.no_rl is True
+
+
+class TestCommands:
+    def test_world(self, capsys):
+        assert main(["world", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "World composition" in out
+        assert "fritzbox" in out
+        assert "premises:" in out
+
+    def test_collect(self, capsys):
+        assert main(["collect", "--scale", "0.05", "--days", "2",
+                     "--wire", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "Collected" in out
+        assert "India" in out
+
+    def test_telescope(self, capsys):
+        assert main(["telescope", "--scale", "0.05", "--days", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Actors detected" in out
+        assert "covert" in out
+        assert "research" in out
+
+    def test_study(self, capsys):
+        assert main(["study", "--scale", "0.05", "--no-rl",
+                     "--wire", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "secure share" in out
+        assert "hit rates" in out
+
+    def test_determinism(self, capsys):
+        main(["world", "--scale", "0.05", "--seed", "7"])
+        first = capsys.readouterr().out
+        main(["world", "--scale", "0.05", "--seed", "7"])
+        second = capsys.readouterr().out
+        assert first == second
+
+
+class TestSaveLoad:
+    def test_collect_out(self, capsys, tmp_path):
+        out = tmp_path / "dataset.jsonl"
+        assert main(["collect", "--scale", "0.05", "--days", "1",
+                     "--wire", "0", "--out", str(out)]) == 0
+        assert out.exists()
+        from repro.io import load_dataset
+        assert len(load_dataset(out)) > 0
+
+    def test_study_out_dir_then_analyze(self, capsys, tmp_path):
+        out = tmp_path / "artefacts"
+        assert main(["study", "--scale", "0.05", "--no-rl", "--wire", "0",
+                     "--out-dir", str(out)]) == 0
+        capsys.readouterr()
+        assert main(["analyze", "--ntp", str(out / "ntp_scan.jsonl"),
+                     "--hitlist", str(out / "hitlist_scan.jsonl")]) == 0
+        text = capsys.readouterr().out
+        assert "Device types (from saved results)" in text
+        assert "secure share" in text

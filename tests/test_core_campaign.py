@@ -1,0 +1,121 @@
+"""Tests for the collection campaign (pool deployment + client traffic)."""
+
+import pytest
+
+from repro.core.campaign import CampaignConfig, CollectionCampaign, rl_2022_config
+from repro.net.clock import DAY
+
+
+@pytest.fixture()
+def campaign(fresh_world):
+    return CollectionCampaign(
+        fresh_world,
+        CampaignConfig(days=3, wire_fraction=0.05, seed=1),
+    )
+
+
+class TestDeployment:
+    def test_eleven_capture_servers(self, campaign):
+        assert len(campaign.capture_servers) == 11
+
+    def test_capture_servers_in_pool(self, campaign):
+        operators = {server.operator for server in campaign.pool.servers}
+        assert "study" in operators
+        assert "background" in operators
+
+    def test_background_competition_matches_geo(self, campaign, fresh_world):
+        background = [s for s in campaign.pool.servers
+                      if s.operator == "background"]
+        expected = sum(c.competing_servers for c in fresh_world.geo.countries)
+        assert len(background) == expected
+
+    def test_some_background_members_dead(self, campaign):
+        """The pool always carries unresponsive members (paper: the
+        telescope saw ~86 % of queries answered)."""
+        registered = sum(1 for s in campaign.pool.servers
+                         if s.operator == "background")
+        alive = len(campaign._background_servers)
+        assert 0 < alive < registered
+
+    def test_telescope_response_rate_below_one(self, campaign):
+        from repro.core.telescope import Telescope
+
+        telescope = Telescope(campaign.world.network)
+        telescope.sweep(campaign.pool)
+        rate = telescope.response_rate()
+        assert 0.7 < rate < 1.0
+
+    def test_deregister_all(self, campaign):
+        campaign.deregister_all()
+        for address in campaign.capture_servers:
+            assert not campaign.pool.server(address).advertised
+
+
+class TestCollection:
+    def test_collects_addresses(self, campaign):
+        report = campaign.run()
+        assert len(report.dataset) > 100
+        assert report.days_run == 3
+        assert report.dataset.total_requests > len(report.dataset)
+
+    def test_clock_advances_by_days(self, campaign, fresh_world):
+        start = fresh_world.clock.now()
+        campaign.run()
+        assert fresh_world.clock.now() == pytest.approx(start + 3 * DAY)
+
+    def test_wire_and_fast_paths_used(self, campaign):
+        report = campaign.run()
+        assert report.wire_queries > 0
+        assert report.fast_queries > 0
+
+    def test_india_dominates_collection(self, campaign):
+        """The paper's Table 7 spread must emerge from zone competition."""
+        report = campaign.run()
+        counts = report.dataset.per_server_counts()
+        assert counts["India"] == max(counts.values())
+        assert counts["India"] > 5 * counts["the Netherlands"]
+
+    def test_all_capture_locations_collect(self, campaign):
+        report = campaign.run()
+        assert len(report.dataset.per_server_counts()) == 11
+
+    def test_incremental_equals_oneshot(self, fresh_world):
+        from repro.world.population import build_world
+        from tests.conftest import small_world_config
+
+        split = CollectionCampaign(fresh_world,
+                                   CampaignConfig(days=3, seed=2,
+                                                  wire_fraction=0.0))
+        split.advance_days(1)
+        split.advance_days(2)
+        other_world = build_world(small_world_config())
+        oneshot = CollectionCampaign(other_world,
+                                     CampaignConfig(days=3, seed=2,
+                                                    wire_fraction=0.0))
+        oneshot.advance_days(3)
+        assert split.dataset.addresses == oneshot.dataset.addresses
+
+    def test_new_addresses_keep_arriving(self, campaign):
+        """Churn keeps the discovery rate up across the window."""
+        report = campaign.run()
+        histogram = report.dataset.new_addresses_per_day()
+        assert all(histogram.get(day, 0) > 0 for day in range(3))
+
+
+class TestRlProfile:
+    def test_profile_has_27_servers(self):
+        assert len(rl_2022_config().deployment) == 27
+
+    def test_rl_campaign_runs(self, fresh_world):
+        campaign = CollectionCampaign(fresh_world, rl_2022_config(days=2))
+        report = campaign.run()
+        assert len(report.dataset) > 50
+
+    def test_two_campaigns_coexist(self, fresh_world):
+        """The R&L campaign and ours must not collide on server addresses."""
+        first = CollectionCampaign(fresh_world, rl_2022_config(days=1))
+        first.run()
+        second = CollectionCampaign(fresh_world,
+                                    CampaignConfig(days=1, seed=3))
+        report = second.run()
+        assert len(report.dataset) > 0

@@ -1,0 +1,95 @@
+"""Unit tests for the Table 1 dataset comparator."""
+
+import pytest
+
+from repro.core.comparison import DatasetComparison
+from repro.world.asdb import EYEBALL, AsDatabase, AutonomousSystem
+
+
+@pytest.fixture()
+def asdb():
+    db = AsDatabase()
+    db.register(AutonomousSystem(1, "A", EYEBALL, "DE"))
+    db.register(AutonomousSystem(2, "B", "Content", "US"))
+    return db
+
+
+def _addrs(asdb, asn, count, offset=0):
+    block = asdb.blocks_of(asn)[0]
+    return [block + offset + index for index in range(1, count + 1)]
+
+
+class TestSummaries:
+    def test_address_and_network_counts(self, asdb):
+        comparison = DatasetComparison(asdb)
+        comparison.add("x", _addrs(asdb, 1, 5))
+        summary = comparison.summary("x")
+        assert summary.address_count == 5
+        assert summary.net48_count == 1
+        assert summary.as_count == 1
+        assert summary.median_ips_per_48 == 5.0
+        assert summary.median_ips_per_as == 5.0
+
+    def test_median_across_networks(self, asdb):
+        comparison = DatasetComparison(asdb)
+        step48 = 1 << 80
+        addresses = _addrs(asdb, 1, 3) + \
+            [asdb.blocks_of(1)[0] + step48 + 1]
+        comparison.add("x", addresses)
+        summary = comparison.summary("x")
+        assert summary.net48_count == 2
+        assert summary.median_ips_per_48 == 2.0
+
+    def test_unrouted_excluded_from_as_stats(self, asdb):
+        comparison = DatasetComparison(asdb)
+        comparison.add("x", _addrs(asdb, 1, 2) + [0])
+        summary = comparison.summary("x")
+        assert summary.address_count == 3
+        assert summary.as_count == 1
+
+    def test_duplicate_label_rejected(self, asdb):
+        comparison = DatasetComparison(asdb)
+        comparison.add("x", [])
+        with pytest.raises(ValueError):
+            comparison.add("x", [])
+
+
+class TestOverlaps:
+    def test_overlap_counts(self, asdb):
+        comparison = DatasetComparison(asdb)
+        shared = _addrs(asdb, 1, 2)
+        comparison.add("left", shared + _addrs(asdb, 2, 3))
+        comparison.add("right", shared + _addrs(asdb, 2, 2, offset=100))
+        overlap = comparison.overlap("left", "right")
+        assert overlap.address_overlap == 2
+        assert overlap.net48_overlap == 2  # AS1 /48 + AS2 /48
+        assert overlap.as_overlap == 2
+
+    def test_disjoint_sets(self, asdb):
+        comparison = DatasetComparison(asdb)
+        comparison.add("left", _addrs(asdb, 1, 2))
+        comparison.add("right", _addrs(asdb, 2, 2))
+        overlap = comparison.overlap("left", "right")
+        assert overlap.address_overlap == 0
+        assert overlap.as_overlap == 0
+
+
+class TestTable:
+    def test_full_table(self, asdb):
+        comparison = DatasetComparison(asdb)
+        comparison.add("ntp", _addrs(asdb, 1, 3))
+        comparison.add("hitlist", _addrs(asdb, 2, 2))
+        table = comparison.table("ntp")
+        assert {s.label for s in table.summaries} == {"ntp", "hitlist"}
+        assert len(table.overlaps) == 1
+        assert table.summary_for("ntp").address_count == 3
+        assert table.overlap_for("hitlist").address_overlap == 0
+
+    def test_missing_label_raises(self, asdb):
+        comparison = DatasetComparison(asdb)
+        comparison.add("ntp", [])
+        table = comparison.table("ntp")
+        with pytest.raises(KeyError):
+            table.summary_for("nope")
+        with pytest.raises(KeyError):
+            table.overlap_for("nope")

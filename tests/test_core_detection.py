@@ -1,0 +1,112 @@
+"""Integration tests: actors scanning telescope baits end to end."""
+
+import pytest
+
+from repro.core.actors import (
+    NtpSourcingActor,
+    covert_profile,
+    research_ports,
+    research_profile,
+)
+from repro.core.detection import SENSITIVE_PORTS, ActorDetector
+from repro.core.telescope import Telescope
+from repro.net.clock import DAY, EventScheduler, HOUR
+from repro.ntp.pool import NtpPool
+from repro.world.population import build_world
+from tests.conftest import small_world_config
+
+
+@pytest.fixture(scope="module")
+def detection_setup():
+    """One world with both actors deployed and a telescope watching."""
+    world = build_world(small_world_config(scale=0.05))
+    pool = NtpPool(world.network)
+    scheduler = EventScheduler(world.clock)
+
+    research_as = next(s for s in world.asdb.systems
+                       if s.category == "Educational/Research")
+    clouds = [s for s in world.asdb.systems
+              if s.name.startswith("HyperCloud")]
+
+    overt = NtpSourcingActor(
+        world, pool, scheduler, research_profile(),
+        server_base=world.allocate_prefix64(clouds[0].number),
+        scanner_base=world.allocate_prefix64(research_as.number),
+        zones=["us", "de", "jp"], seed=1)
+    covert = NtpSourcingActor(
+        world, pool, scheduler, covert_profile(),
+        server_base=world.allocate_prefix64(clouds[1].number),
+        scanner_base=world.allocate_prefix64(clouds[2].number),
+        zones=["us", "nl"], seed=2)
+
+    telescope = Telescope(world.network)
+    for _ in range(6):
+        telescope.sweep(pool)
+        scheduler.run_until(world.clock.now() + DAY)
+    scheduler.run_until(world.clock.now() + 4 * DAY)
+
+    detector = ActorDetector(
+        telescope, world.asdb,
+        operator_of_server=lambda address: pool.server(address).operator)
+    return world, telescope, detector, overt, covert
+
+
+class TestResearchPorts:
+    def test_count(self):
+        assert len(research_ports()) == 1011
+
+    def test_includes_service_diversity(self):
+        ports = set(research_ports())
+        assert {21, 179, 5432} <= ports  # FTP, BGP, Postgres
+
+
+class TestEndToEnd:
+    def test_actors_scanned(self, detection_setup):
+        _, _, _, overt, covert = detection_setup
+        assert overt.scans_launched > 0
+        assert covert.scans_launched > 0
+
+    def test_all_events_matched(self, detection_setup):
+        _, telescope, _, _, _ = detection_setup
+        assert telescope.events
+        assert telescope.match_rate() == 1.0
+
+    def test_two_actors_detected(self, detection_setup):
+        _, _, detector, _, _ = detection_setup
+        verdicts = detector.report()
+        kinds = sorted(verdict.kind for verdict in verdicts)
+        assert kinds == ["covert", "research"]
+
+    def test_research_actor_profile(self, detection_setup):
+        _, _, detector, overt, _ = detection_setup
+        verdict = next(v for v in detector.report() if v.kind == "research")
+        observation = verdict.observation
+        assert observation.median_delay < HOUR
+        assert observation.median_duration <= 15 * 60
+        assert observation.server_operators == {"GT"}
+        assert len(observation.triggering_servers) == 15
+
+    def test_covert_actor_profile(self, detection_setup):
+        _, _, detector, _, covert = detection_setup
+        verdict = next(v for v in detector.report() if v.kind == "covert")
+        observation = verdict.observation
+        assert observation.median_delay > 6 * HOUR
+        assert observation.ports <= SENSITIVE_PORTS
+        assert observation.server_operators == {"covert"}
+        assert observation.source_categories == {"Content"}
+
+    def test_covert_partial_port_coverage(self, detection_setup):
+        """Not every bait sees every covert port (detection avoidance)."""
+        _, telescope, _, _, covert = detection_setup
+        per_bait = {}
+        for event in telescope.matched_events():
+            if event.bait.server in {s.address for s in covert.servers}:
+                per_bait.setdefault(event.dst, set()).add(event.dst_port)
+        assert per_bait
+        assert any(len(ports) < len(covert.profile.ports)
+                   for ports in per_bait.values())
+
+    def test_verdict_reasons_populated(self, detection_setup):
+        _, _, detector, _, _ = detection_setup
+        for verdict in detector.report():
+            assert verdict.reasons

@@ -1,0 +1,55 @@
+"""Tests for the end-to-end experiment pipeline mechanics."""
+
+import pytest
+
+from repro.core.pipeline import ExperimentConfig, run_experiment
+from tests.conftest import small_world_config
+
+
+class TestPipeline:
+    def test_artifacts_present(self, experiment):
+        assert len(experiment.ntp_dataset) > 500
+        assert experiment.hitlist.full_size > 100
+        assert experiment.ntp_scan.targets_seen == len(experiment.ntp_dataset)
+        assert experiment.hitlist_scan.targets_seen == \
+            experiment.hitlist.full_size
+        assert experiment.rl_dataset is not None
+
+    def test_comparison_covers_all_datasets(self, experiment):
+        comparison = experiment.comparison()
+        assert set(comparison.labels) == \
+            {"ntp", "rl", "hitlist-full", "hitlist-public"}
+
+    def test_table1_reference_is_ntp(self, experiment):
+        table = experiment.table1()
+        assert table.reference == "ntp"
+        assert len(table.overlaps) == 3
+
+    def test_hitlist_built_before_final_week(self, experiment):
+        assert experiment.hitlist.built_at < experiment.world.clock.now()
+
+    def test_rl_optional(self):
+        from repro.core.campaign import CampaignConfig
+
+        config = ExperimentConfig(
+            world=small_world_config(scale=0.05),
+            campaign=CampaignConfig(days=4, wire_fraction=0.0),
+            include_rl=False, gap_days=0, lead_days=3, final_days=1,
+        )
+        result = run_experiment(config)
+        assert result.rl_dataset is None
+        comparison = result.comparison()
+        assert "rl" not in comparison.labels
+
+    def test_scanner_lives_in_research_space(self, experiment):
+        engine_source = experiment.campaign  # campaign itself has no engine
+        # The scan queue's engine source must be routed + research.
+        source = None
+        for grab in experiment.ntp_scan.http[:1]:
+            pass
+        # Resolve via the world: the pipeline allocates from a research AS.
+        from repro.core.pipeline import _scanner_source
+        source = _scanner_source(experiment.world)
+        system = experiment.world.asdb.lookup(source)
+        assert system is not None
+        assert system.category == "Educational/Research"

@@ -1,0 +1,64 @@
+"""Tests for the real-time collection → scan coupling."""
+
+import pytest
+
+from repro.core.collector import CollectedDataset
+from repro.core.realtime import RealTimeScanQueue
+from repro.ipv6 import parse
+from repro.scan.engine import EngineConfig, ScanEngine
+
+SRC = parse("2001:db8:5c::1")
+
+
+@pytest.fixture()
+def engine(network):
+    return ScanEngine(network, SRC, EngineConfig(drive_clock=False))
+
+
+class TestCoupling:
+    def test_new_address_triggers_scan(self, network, engine):
+        dataset = CollectedDataset()
+        queue = RealTimeScanQueue(engine)
+        queue.attach(dataset)
+        dataset.record(parse("2001:db8::1"), 0.0, "Germany")
+        assert queue.stats.triggered == 1
+        assert queue.stats.scanned == 1
+        assert queue.results.targets_seen == 1
+
+    def test_repeat_sighting_not_rescanned(self, network, engine):
+        dataset = CollectedDataset()
+        queue = RealTimeScanQueue(engine)
+        queue.attach(dataset)
+        dataset.record(parse("2001:db8::1"), 0.0, "Germany")
+        dataset.record(parse("2001:db8::1"), 1.0, "India")
+        assert queue.stats.triggered == 1
+
+    def test_sampling_suppresses_but_counts(self, network, engine):
+        dataset = CollectedDataset()
+        queue = RealTimeScanQueue(engine, sample_rate=0.01, seed=3)
+        queue.attach(dataset)
+        for index in range(100):
+            dataset.record(parse("2001:db8::") + index, 0.0, "Germany")
+        assert queue.stats.suppressed > 50
+        assert queue.results.targets_seen == 100
+        assert queue.stats.scanned == 100 - queue.stats.suppressed
+
+    def test_invalid_sample_rate(self, engine):
+        with pytest.raises(ValueError):
+            RealTimeScanQueue(engine, sample_rate=0.0)
+
+    def test_scan_results_accumulate(self, network, engine):
+        import random
+
+        from repro.world import devices as dev
+
+        rng = random.Random(1)
+        device = dev.make_fritzbox(rng, 0, 0x3C3786009999)
+        device.assign_address(parse("2001:db8:77::"), rng)
+        device.materialize(network)
+
+        dataset = CollectedDataset()
+        queue = RealTimeScanQueue(engine)
+        queue.attach(dataset)
+        dataset.record(device.address, 0.0, "Germany")
+        assert queue.results.responsive_addresses("http") == {device.address}

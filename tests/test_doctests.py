@@ -1,0 +1,26 @@
+"""Collect the library's docstring examples as tests."""
+
+import doctest
+
+import pytest
+
+import repro.ipv6.address
+import repro.ipv6.eui64
+import repro.ipv6.iid
+import repro.proto.http
+import repro.report.formatting
+
+MODULES = [
+    repro.ipv6.address,
+    repro.ipv6.eui64,
+    repro.ipv6.iid,
+    repro.proto.http,
+    repro.report.formatting,
+]
+
+
+@pytest.mark.parametrize("module", MODULES,
+                         ids=[m.__name__ for m in MODULES])
+def test_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0

@@ -1,0 +1,140 @@
+"""Roundtrip tests for the JSONL persistence formats."""
+
+import json
+
+import pytest
+
+from repro.core.collector import CollectedDataset
+from repro.io import FormatError, load_dataset, load_results, save_dataset, save_results
+from repro.ipv6 import parse
+from repro.scan.result import (
+    BrokerGrab,
+    CoapGrab,
+    HttpGrab,
+    ScanResults,
+    SshGrab,
+    TlsObservation,
+)
+
+
+@pytest.fixture()
+def dataset():
+    data = CollectedDataset(label="test-campaign")
+    data.record(parse("2001:db8::1"), 10.0, "Germany")
+    data.record(parse("2001:db8::1"), 20.0, "India", requests=3)
+    data.record(parse("2001:db8::2"), 15.0, "Germany")
+    return data
+
+
+@pytest.fixture()
+def results():
+    data = ScanResults(label="test-scan")
+    data.targets_seen = 42
+    data.add(HttpGrab(address=parse("2001:db8::1"), time=1.0, port=443,
+                      ok=True, status=200, title="FRITZ!Box",
+                      server="AVM",
+                      tls=TlsObservation(ok=True, fingerprint=b"\x01\x02",
+                                         subject="fritz.box",
+                                         issuer="fritz.box",
+                                         self_signed=True, expired=False)))
+    data.add(HttpGrab(address=parse("2001:db8::2"), time=2.0, port=80,
+                      ok=False))
+    data.add(SshGrab(address=parse("2001:db8::3"), time=3.0, ok=True,
+                     banner="SSH-2.0-OpenSSH_9.2p1 Debian-2+deb12u3",
+                     software="OpenSSH_9.2p1", comment="Debian-2+deb12u3",
+                     key_algorithm="ssh-ed25519", key_fingerprint=b"\xaa"))
+    data.add(BrokerGrab(address=parse("2001:db8::4"), time=4.0, port=1883,
+                        protocol="mqtt", ok=True, open_access=True,
+                        detail="connack=0"))
+    data.add(CoapGrab(address=parse("2001:db8::5"), time=5.0, ok=True,
+                      resources=("/castDeviceSearch",)))
+    return data
+
+
+class TestDatasetRoundtrip:
+    def test_roundtrip(self, dataset, tmp_path):
+        path = tmp_path / "dataset.jsonl"
+        count = save_dataset(dataset, path)
+        assert count >= 4  # header + servers + addresses
+        loaded = load_dataset(path)
+        assert loaded.label == "test-campaign"
+        assert loaded.addresses == dataset.addresses
+        assert loaded.total_requests == dataset.total_requests
+        assert loaded.per_server_counts() == dataset.per_server_counts()
+        original = dataset.observations[parse("2001:db8::1")]
+        restored = loaded.observations[parse("2001:db8::1")]
+        assert restored.first_seen == original.first_seen
+        assert restored.requests == original.requests
+
+    def test_file_is_line_json(self, dataset, tmp_path):
+        path = tmp_path / "dataset.jsonl"
+        save_dataset(dataset, path)
+        for line in path.read_text().splitlines():
+            json.loads(line)
+
+    def test_rejects_wrong_kind(self, results, tmp_path):
+        path = tmp_path / "results.jsonl"
+        save_results(results, path)
+        with pytest.raises(FormatError):
+            load_dataset(path)
+
+    def test_rejects_empty(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(FormatError):
+            load_dataset(path)
+
+    def test_rejects_garbage(self, tmp_path):
+        path = tmp_path / "garbage.jsonl"
+        path.write_text("this is not json\n")
+        with pytest.raises(FormatError):
+            load_dataset(path)
+
+
+class TestResultsRoundtrip:
+    def test_roundtrip(self, results, tmp_path):
+        path = tmp_path / "results.jsonl"
+        save_results(results, path)
+        loaded = load_results(path)
+        assert loaded.label == "test-scan"
+        assert loaded.targets_seen == 42
+        assert len(loaded.https) == 1
+        assert len(loaded.http) == 1
+        assert len(loaded.ssh) == 1
+        assert len(loaded.mqtt) == 1
+        assert len(loaded.coap) == 1
+
+    def test_grab_fields_survive(self, results, tmp_path):
+        path = tmp_path / "results.jsonl"
+        save_results(results, path)
+        loaded = load_results(path)
+        https = loaded.https[0]
+        assert https.title == "FRITZ!Box"
+        assert https.tls.fingerprint == b"\x01\x02"
+        assert https.tls.self_signed is True
+        ssh = loaded.ssh[0]
+        assert ssh.key_fingerprint == b"\xaa"
+        assert ssh.comment == "Debian-2+deb12u3"
+        coap = loaded.coap[0]
+        assert coap.resources == ("/castDeviceSearch",)
+
+    def test_analyses_work_on_loaded_results(self, results, tmp_path):
+        from repro.analysis import devicetypes
+
+        path = tmp_path / "results.jsonl"
+        save_results(results, path)
+        loaded = load_results(path)
+        groups = devicetypes.http_title_groups(loaded)
+        assert groups[0].representative == "FRITZ!Box"
+        assert loaded.unique_fingerprints("ssh") == {b"\xaa"}
+
+    def test_roundtrip_experiment_scan(self, experiment, tmp_path):
+        """The real pipeline's output survives a save/load cycle."""
+        path = tmp_path / "ntp_scan.jsonl"
+        save_results(experiment.ntp_scan, path)
+        loaded = load_results(path)
+        for protocol in ("http", "https", "ssh", "coap"):
+            assert loaded.responsive_addresses(protocol) == \
+                experiment.ntp_scan.responsive_addresses(protocol)
+            assert loaded.unique_fingerprints(protocol) == \
+                experiment.ntp_scan.unique_fingerprints(protocol)

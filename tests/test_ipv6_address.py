@@ -1,0 +1,133 @@
+"""Unit tests for integer-backed IPv6 address primitives."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ipv6 import address as addr
+
+ADDRESSES = st.integers(min_value=0, max_value=addr.ADDRESS_SPACE - 1)
+LENGTHS = st.integers(min_value=0, max_value=128)
+
+
+class TestParseFormat:
+    def test_parse_known_address(self):
+        assert addr.parse("::1") == 1
+
+    def test_parse_full_form(self):
+        value = addr.parse("2001:0db8:0000:0000:0000:0000:0000:0001")
+        assert value == addr.parse("2001:db8::1")
+
+    def test_format_compresses(self):
+        assert addr.format_address(addr.parse("2001:db8:0:0:0:0:0:1")) == \
+            "2001:db8::1"
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            addr.parse("not-an-address")
+
+    def test_parse_rejects_ipv4(self):
+        with pytest.raises(ValueError):
+            addr.parse("192.0.2.1")
+
+    @given(ADDRESSES)
+    def test_roundtrip(self, value):
+        assert addr.parse(addr.format_address(value)) == value
+
+
+class TestPrefix:
+    def test_prefix_48(self):
+        value = addr.parse("2001:db8:1:2::5")
+        assert addr.format_address(addr.prefix(value, 48)) == "2001:db8:1::"
+
+    def test_prefix_zero_length(self):
+        assert addr.prefix(addr.parse("ffff::"), 0) == 0
+
+    def test_prefix_full_length_is_identity(self):
+        value = addr.parse("2001:db8::42")
+        assert addr.prefix(value, 128) == value
+
+    def test_prefix_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            addr.prefix(0, 129)
+        with pytest.raises(ValueError):
+            addr.prefix(0, -1)
+
+    @given(ADDRESSES, LENGTHS)
+    def test_prefix_idempotent(self, value, length):
+        once = addr.prefix(value, length)
+        assert addr.prefix(once, length) == once
+
+    @given(ADDRESSES, LENGTHS)
+    def test_prefix_monotone(self, value, length):
+        """A longer prefix refines, never contradicts, a shorter one."""
+        longer = min(length + 8, 128)
+        assert addr.prefix(addr.prefix(value, longer), length) == \
+            addr.prefix(value, length)
+
+
+class TestNetworkKey:
+    def test_key_roundtrip(self):
+        value = addr.parse("2001:db8:a:b::1")
+        key = addr.network_key(value, 64)
+        assert addr.from_network_key(key, 64) == addr.prefix(value, 64)
+
+    def test_consecutive_networks_consecutive_keys(self):
+        base = addr.parse("2001:db8::")
+        step = 1 << (128 - 48)
+        assert addr.network_key(base + step, 48) == \
+            addr.network_key(base, 48) + 1
+
+    @given(ADDRESSES)
+    def test_same_48_same_key(self, value):
+        sibling = addr.prefix(value, 48) | (value ^ 0xFF) & 0xFFFF
+        assert addr.network_key(value, 48) == addr.network_key(sibling, 48)
+
+
+class TestIid:
+    def test_iid_extracts_low_half(self):
+        value = addr.parse("2001:db8::dead:beef")
+        assert addr.iid(value) == 0xDEADBEEF
+
+    def test_with_iid_combines(self):
+        prefix = addr.parse("2001:db8:1:2::")
+        assert addr.with_iid(prefix, 0x42) == addr.parse("2001:db8:1:2::42")
+
+    @given(ADDRESSES, st.integers(min_value=0, max_value=(1 << 64) - 1))
+    def test_with_iid_roundtrip(self, prefix_value, iid_value):
+        combined = addr.with_iid(prefix_value, iid_value)
+        assert addr.iid(combined) == iid_value
+        assert addr.prefix(combined, 64) == addr.prefix(prefix_value, 64)
+
+
+class TestNetworks:
+    def test_format_network(self):
+        value = addr.parse("2001:db8:1:2::5")
+        assert addr.format_network(value, 48) == "2001:db8:1::/48"
+
+    def test_parse_network(self):
+        base, length = addr.parse_network("2001:db8::/32")
+        assert base == addr.parse("2001:db8::")
+        assert length == 32
+
+    def test_contains(self):
+        base = addr.parse("2001:db8::")
+        assert addr.contains(base, 32, addr.parse("2001:db8:ffff::1"))
+        assert not addr.contains(base, 32, addr.parse("2001:db9::1"))
+
+    def test_iter_subnets(self):
+        base = addr.parse("2001:db8::")
+        subnets = list(addr.iter_subnets(base, 46, 48))
+        assert len(subnets) == 4
+        assert subnets[0] == base
+        assert addr.format_address(subnets[1]) == "2001:db8:1::"
+
+    def test_iter_subnets_rejects_shorter(self):
+        with pytest.raises(ValueError):
+            list(addr.iter_subnets(0, 48, 32))
+
+    def test_distinct_networks(self):
+        values = [addr.parse("2001:db8::1"), addr.parse("2001:db8::2"),
+                  addr.parse("2001:db9::1")]
+        assert len(addr.distinct_networks(values, 48)) == 2
+        assert len(addr.distinct_networks(values, 128)) == 3

@@ -1,0 +1,90 @@
+"""Unit tests for multi-level prefix aggregation (Table 1/5 machinery)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ipv6 import address as addr
+from repro.ipv6.aggregation import (
+    GroupedDensity,
+    PrefixAggregator,
+    address_overlap,
+    overlap,
+)
+
+
+def _addr(net: int, host: int) -> int:
+    return addr.parse("2001:db8::") + (net << 80) + host
+
+
+class TestPrefixAggregator:
+    def test_add_deduplicates(self):
+        agg = PrefixAggregator()
+        assert agg.add(_addr(0, 1)) is True
+        assert agg.add(_addr(0, 1)) is False
+        assert agg.address_count == 1
+
+    def test_network_counts(self):
+        agg = PrefixAggregator()
+        agg.update([_addr(0, 1), _addr(0, 2), _addr(1, 1)])
+        counts = agg.network_counts(48)
+        assert sorted(counts.values()) == [1, 2]
+        assert agg.network_count(48) == 2
+
+    def test_summary_levels(self):
+        agg = PrefixAggregator(levels=(48, 64))
+        agg.update([_addr(0, 1), _addr(1, 1)])
+        assert agg.summary() == {48: 2, 64: 2}
+
+    def test_median_density(self):
+        agg = PrefixAggregator()
+        agg.update([_addr(0, host) for host in range(1, 6)])  # 5 in one /48
+        agg.update([_addr(1, 1)])                              # 1 in another
+        assert agg.median_density(48) == 3.0
+
+    def test_median_density_empty(self):
+        assert PrefixAggregator().median_density(48) == 0.0
+
+    def test_mean_density(self):
+        agg = PrefixAggregator()
+        agg.update([_addr(0, 1), _addr(0, 2), _addr(1, 1)])
+        assert agg.mean_density(48) == pytest.approx(1.5)
+
+    @given(st.lists(st.integers(min_value=0, max_value=2**128 - 1),
+                    max_size=50))
+    def test_counts_consistent(self, values):
+        agg = PrefixAggregator()
+        agg.update(values)
+        assert agg.address_count == len(set(values))
+        # Coarser levels never have more networks than finer levels.
+        assert agg.network_count(32) <= agg.network_count(48) \
+            <= agg.network_count(64) <= agg.address_count
+
+
+class TestOverlap:
+    def test_network_overlap(self):
+        left = [_addr(0, 1), _addr(1, 1)]
+        right = [_addr(1, 2), _addr(2, 1)]
+        assert overlap(left, right, 48) == 1
+
+    def test_address_overlap(self):
+        left = [_addr(0, 1), _addr(1, 1)]
+        right = [_addr(1, 1)]
+        assert address_overlap(left, right) == 1
+
+    def test_disjoint(self):
+        assert overlap([_addr(0, 1)], [_addr(1, 1)], 48) == 0
+
+
+class TestGroupedDensity:
+    def test_from_assignment(self):
+        assignment = {_addr(0, 1): "a", _addr(0, 2): "a", _addr(1, 1): "b"}
+        density = GroupedDensity.from_assignment(assignment)
+        assert density.groups == 2
+        assert density.median == 1.5
+        assert density.mean == pytest.approx(1.5)
+
+    def test_empty(self):
+        density = GroupedDensity.from_assignment({})
+        assert density.groups == 0
+        assert density.median == 0.0

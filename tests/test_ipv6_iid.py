@@ -1,0 +1,96 @@
+"""Unit tests for IID classification and entropy (Figure 1 machinery)."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ipv6 import address as addr
+from repro.ipv6 import eui64, iid
+
+
+class TestByteEntropy:
+    def test_zero_for_uniform_bytes(self):
+        assert iid.byte_entropy(b"\x00" * 8) == 0.0
+
+    def test_empty_is_zero(self):
+        assert iid.byte_entropy(b"") == 0.0
+
+    def test_max_for_distinct_bytes(self):
+        assert iid.byte_entropy(bytes(range(8))) == pytest.approx(3.0)
+
+    def test_half_split(self):
+        assert iid.byte_entropy(b"\x00\x00\x00\x00\xff\xff\xff\xff") == \
+            pytest.approx(1.0)
+
+    @given(st.binary(min_size=1, max_size=16))
+    def test_bounds(self, data):
+        entropy = iid.byte_entropy(data)
+        assert 0.0 <= entropy <= math.log2(len(data)) + 1e-9
+
+
+class TestClassify:
+    def test_zero_iid(self):
+        assert iid.classify_iid(addr.parse("2001:db8::")) == "zero"
+
+    def test_low_byte(self):
+        assert iid.classify_iid(addr.parse("2001:db8::7f")) == "low-byte"
+
+    def test_low_two_bytes(self):
+        assert iid.classify_iid(addr.parse("2001:db8::1234")) == "low-two-bytes"
+
+    def test_boundary_one_byte(self):
+        assert iid.classify_iid(0xFF) == "low-byte"
+        assert iid.classify_iid(0x100) == "low-two-bytes"
+
+    def test_boundary_two_bytes(self):
+        assert iid.classify_iid(0xFFFF) == "low-two-bytes"
+
+    def test_eui64(self):
+        value = addr.with_iid(addr.parse("2001:db8::"),
+                              eui64.mac_to_iid(0xB827EB123456))
+        assert iid.classify_iid(value) == "eui64"
+
+    def test_privacy_address_high_entropy(self):
+        value = addr.parse("2001:db8::8d4f:19c2:77ab:e03d")
+        assert iid.classify_iid(value) == "high-entropy"
+
+    def test_repeated_bytes_low_entropy(self):
+        # IID aa:aa:aa:aa:aa:aa:aa:aa -> single distinct byte.
+        assert iid.classify_iid(0xAAAAAAAAAAAAAAAA) == "low-entropy"
+
+    def test_classes_cover_everything(self):
+        for value in [0, 1, 0x1000, 0xB827EBFFFE123456,
+                      0x1111111122222222, 0x8D4F19C277ABE03D]:
+            assert iid.classify_iid(value) in iid.CLASSES
+
+    @given(st.integers(min_value=0, max_value=(1 << 64) - 1))
+    def test_total_function(self, identifier):
+        assert iid.classify_iid(identifier) in iid.CLASSES
+
+
+class TestProfile:
+    def test_profile_counts_and_shares(self):
+        values = [
+            addr.parse("2001:db8::"),        # zero
+            addr.parse("2001:db8::1"),       # low-byte
+            addr.parse("2001:db8::2"),       # low-byte
+            addr.parse("2001:db8::1234"),    # low-two-bytes
+        ]
+        profile = iid.profile(values)
+        assert profile.total == 4
+        assert profile.share("low-byte") == 0.5
+        assert profile.structured_share == 1.0
+        assert profile.high_entropy_share == 0.0
+
+    def test_empty_profile(self):
+        profile = iid.profile([])
+        assert profile.total == 0
+        assert profile.share("zero") == 0.0
+        assert profile.structured_share == 0.0
+
+    def test_as_dict_sums_to_one(self):
+        values = [addr.parse(f"2001:db8::{index:x}") for index in range(1, 40)]
+        profile = iid.profile(values)
+        assert sum(profile.as_dict().values()) == pytest.approx(1.0)

@@ -1,0 +1,88 @@
+"""Tests for NTP kiss-o'-death rate limiting (RFC 5905 §7.4)."""
+
+import pytest
+
+from repro.ipv6 import parse
+from repro.ntp.client import NtpClient
+from repro.ntp.packet import (
+    KISS_DENY,
+    KISS_RATE,
+    Mode,
+    NtpPacket,
+    client_request,
+    kiss_code,
+    kiss_of_death,
+    server_response,
+)
+from repro.ntp.server import NtpServer
+
+SERVER = parse("2001:500::1")
+CLIENT = parse("2001:db8::c1")
+
+
+class TestKissCodec:
+    def test_kod_shape(self):
+        request = client_request(0.0)
+        kod = kiss_of_death(request)
+        assert kod.stratum == 0
+        assert kod.mode is Mode.SERVER
+        assert kiss_code(kod) == "RATE"
+
+    def test_deny_code(self):
+        kod = kiss_of_death(client_request(0.0), KISS_DENY)
+        assert kiss_code(kod) == "DENY"
+
+    def test_roundtrip_over_wire(self):
+        kod = kiss_of_death(client_request(0.0))
+        decoded = NtpPacket.decode(kod.encode())
+        assert kiss_code(decoded) == "RATE"
+
+    def test_normal_response_has_no_kiss(self):
+        response = server_response(client_request(0.0), 0.1, 0.1)
+        assert kiss_code(response) is None
+
+    def test_client_mode_packet_no_kiss(self):
+        assert kiss_code(client_request(0.0)) is None
+
+
+class TestServerRateLimit:
+    def test_fast_client_gets_rate_kiss(self, network):
+        NtpServer(network, SERVER, location="X", min_interval=8.0)
+        client = NtpClient(network, CLIENT)
+        assert client.query(SERVER) is not None
+        # Immediate re-query: rate limited.
+        assert client.query(SERVER) is None
+        assert client.kisses == ["RATE"]
+
+    def test_polite_client_unaffected(self, network):
+        NtpServer(network, SERVER, location="X", min_interval=8.0)
+        client = NtpClient(network, CLIENT)
+        for _ in range(5):
+            assert client.query(SERVER) is not None
+            network.clock.advance(10.0)
+        assert client.kisses == []
+
+    def test_limit_is_per_client(self, network):
+        server = NtpServer(network, SERVER, location="X", min_interval=8.0)
+        first = NtpClient(network, CLIENT)
+        second = NtpClient(network, parse("2001:db8::c2"))
+        assert first.query(SERVER) is not None
+        assert second.query(SERVER) is not None  # different client: fine
+        assert server.stats.rate_limited == 0
+        assert first.query(SERVER) is None
+        assert server.stats.rate_limited == 1
+
+    def test_rate_limited_requests_not_captured(self, network):
+        server = NtpServer(network, SERVER, location="X", min_interval=8.0)
+        captured = []
+        server.add_capture_hook(lambda a, p, r, t: captured.append(a))
+        client = NtpClient(network, CLIENT)
+        client.query(SERVER)
+        client.query(SERVER)  # kissed
+        assert captured == [CLIENT]
+
+    def test_disabled_by_default(self, network):
+        NtpServer(network, SERVER, location="X")
+        client = NtpClient(network, CLIENT)
+        assert client.query(SERVER) is not None
+        assert client.query(SERVER) is not None

@@ -1,0 +1,139 @@
+"""Unit tests for the NTP Pool simulator."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.ipv6 import parse
+from repro.ntp.pool import SCORE_THRESHOLD, NtpPool, weighted_request_rates
+from repro.ntp.server import NtpServer
+
+S1 = parse("2001:500::1")
+S2 = parse("2001:500::2")
+S3 = parse("2001:500::3")
+MONITOR = parse("2001:500::ff")
+
+
+@pytest.fixture()
+def pool(network):
+    return NtpPool(network, rng=random.Random(7), monitor_address=MONITOR)
+
+
+class TestRegistration:
+    def test_register_and_resolve(self, pool):
+        pool.register(S1, "de")
+        assert pool.resolve("de") == S1
+
+    def test_duplicate_rejected(self, pool):
+        pool.register(S1, "de")
+        with pytest.raises(ValueError):
+            pool.register(S1, "de")
+
+    def test_bad_netspeed_rejected(self, pool):
+        with pytest.raises(ValueError):
+            pool.register(S1, "de", netspeed=0)
+
+    def test_deregister_removes_from_rotation(self, pool):
+        pool.register(S1, "de")
+        pool.deregister(S1)
+        assert pool.resolve("de") is None
+        assert not pool.server(S1).in_rotation
+
+    def test_deregister_unknown_raises(self, pool):
+        with pytest.raises(KeyError):
+            pool.deregister(S1)
+
+    def test_empty_pool_resolves_none(self, pool):
+        assert pool.resolve("de") is None
+
+
+class TestGeoDnsResolution:
+    def test_country_zone_preferred(self, pool):
+        pool.register(S1, "de")
+        pool.register(S2, "us")
+        for _ in range(20):
+            assert pool.resolve("de") == S1
+
+    def test_empty_zone_falls_back_globally(self, pool):
+        pool.register(S1, "de")
+        assert pool.resolve("jp") == S1
+
+    def test_netspeed_weighting(self, pool):
+        pool.register(S1, "de", netspeed=9000)
+        pool.register(S2, "de", netspeed=1000)
+        rng = random.Random(3)
+        counts = Counter(pool.resolve("de", rng) for _ in range(2000))
+        assert counts[S1] > counts[S2] * 4
+
+    def test_set_netspeed(self, pool):
+        pool.register(S1, "de", netspeed=1000)
+        pool.set_netspeed(S1, 5000)
+        assert pool.server(S1).netspeed == 5000
+        with pytest.raises(ValueError):
+            pool.set_netspeed(S1, -1)
+
+    def test_populated_zones(self, pool):
+        pool.register(S1, "de")
+        pool.register(S2, "us")
+        pool.deregister(S2)
+        assert pool.populated_zones() == ["de"]
+
+
+class TestMonitoring:
+    def test_healthy_server_stays_in_rotation(self, network, pool):
+        NtpServer(network, S1, location="DE")
+        pool.register(S1, "de")
+        for _ in range(5):
+            pool.run_monitor()
+        assert pool.server(S1).in_rotation
+
+    def test_dead_server_drops_out(self, network, pool):
+        # No NtpServer bound: queries time out, score decays.
+        pool.register(S1, "de")
+        assert pool.server(S1).in_rotation
+        for _ in range(3):
+            pool.run_monitor()
+        assert pool.server(S1).score < SCORE_THRESHOLD
+        assert not pool.server(S1).in_rotation
+        assert pool.resolve("de") is None
+
+    def test_recovery_after_revival(self, network, pool):
+        pool.register(S1, "de")
+        for _ in range(3):
+            pool.run_monitor()
+        assert not pool.server(S1).in_rotation
+        NtpServer(network, S1, location="DE")
+        for _ in range(20):
+            pool.run_monitor()
+        assert pool.server(S1).in_rotation
+
+    def test_monitorless_pool_raises(self, network):
+        pool = NtpPool(network)
+        pool.register(S1, "de")
+        with pytest.raises(RuntimeError):
+            pool.run_monitor()
+
+
+class TestWeightedRates:
+    def test_zone_demand_split_by_netspeed(self, pool):
+        pool.register(S1, "de", netspeed=3000)
+        pool.register(S2, "de", netspeed=1000)
+        rates = weighted_request_rates(pool, {"de": 100.0})
+        assert rates[S1] == pytest.approx(75.0)
+        assert rates[S2] == pytest.approx(25.0)
+
+    def test_empty_zone_spills_globally(self, pool):
+        pool.register(S1, "de", netspeed=1000)
+        pool.register(S2, "us", netspeed=1000)
+        rates = weighted_request_rates(pool, {"jp": 100.0})
+        assert rates[S1] == pytest.approx(50.0)
+        assert rates[S2] == pytest.approx(50.0)
+
+    def test_total_demand_conserved(self, pool):
+        pool.register(S1, "de", netspeed=2500)
+        pool.register(S2, "us", netspeed=800)
+        pool.register(S3, "us", netspeed=200)
+        demand = {"de": 60.0, "us": 30.0, "jp": 10.0}
+        rates = weighted_request_rates(pool, demand)
+        assert sum(rates.values()) == pytest.approx(sum(demand.values()))

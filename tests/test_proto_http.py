@@ -1,0 +1,123 @@
+"""Unit tests for the HTTP codec and server session."""
+
+import pytest
+
+from repro.proto.http import (
+    HttpDecodeError,
+    HttpRequest,
+    HttpResponse,
+    HttpServerSession,
+    html_page,
+)
+
+
+class TestRequestCodec:
+    def test_roundtrip(self):
+        request = HttpRequest(method="GET", path="/",
+                              headers={"User-Agent": "x"})
+        decoded = HttpRequest.decode(request.encode())
+        assert decoded.method == "GET"
+        assert decoded.path == "/"
+        assert decoded.headers["User-Agent"] == "x"
+
+    def test_decode_rejects_garbage(self):
+        with pytest.raises(HttpDecodeError):
+            HttpRequest.decode(b"\x16\x03\x03\x00\x00")
+
+    def test_decode_rejects_bad_header(self):
+        with pytest.raises(HttpDecodeError):
+            HttpRequest.decode(b"GET / HTTP/1.1\r\nbroken\r\n\r\n")
+
+    def test_header_names_titlecased(self):
+        decoded = HttpRequest.decode(b"GET / HTTP/1.1\r\nhost: a\r\n\r\n")
+        assert decoded.headers == {"Host": "a"}
+
+
+class TestResponseCodec:
+    def test_roundtrip(self):
+        response = HttpResponse(status=200, headers={"Server": "s"},
+                                body=b"hi")
+        decoded = HttpResponse.decode(response.encode())
+        assert decoded.status == 200
+        assert decoded.headers["Server"] == "s"
+        assert decoded.body == b"hi"
+
+    def test_content_length_added(self):
+        raw = HttpResponse(status=200, body=b"abcd").encode()
+        assert b"Content-Length: 4" in raw
+
+    def test_decode_rejects_garbage(self):
+        with pytest.raises(HttpDecodeError):
+            HttpResponse.decode(b"not http at all")
+
+    def test_decode_rejects_bad_status(self):
+        with pytest.raises(HttpDecodeError):
+            HttpResponse.decode(b"HTTP/1.1 abc OK\r\n\r\n")
+
+    def test_title_extraction(self):
+        response = HttpResponse(status=200, body=html_page("FRITZ!Box"))
+        assert response.title == "FRITZ!Box"
+
+    def test_title_none_when_absent(self):
+        response = HttpResponse(status=200, body=b"<html></html>")
+        assert response.title is None
+
+    def test_title_whitespace_normalized(self):
+        response = HttpResponse(
+            status=200, body=b"<title>\n  A \t B  </title>")
+        assert response.title == "A B"
+
+    def test_title_case_insensitive_tag(self):
+        response = HttpResponse(status=200, body=b"<TITLE>x</TITLE>")
+        assert response.title == "x"
+
+
+class TestServerSession:
+    def _get(self, session, path="/", headers=None):
+        request = HttpRequest(method="GET", path=path, headers=headers or {})
+        return HttpResponse.decode(session.on_data(request.encode()))
+
+    def test_serves_title(self):
+        session = HttpServerSession("D-LINK")
+        response = self._get(session)
+        assert response.status == 200
+        assert response.title == "D-LINK"
+
+    def test_serves_server_header(self):
+        session = HttpServerSession("x", server="AVM FRITZ!Box")
+        assert self._get(session).headers["Server"] == "AVM FRITZ!Box"
+
+    def test_none_title_empty_body(self):
+        session = HttpServerSession(None)
+        response = self._get(session)
+        assert response.status == 200
+        assert response.title is None
+
+    def test_requires_host_yields_unknown_domain(self):
+        session = HttpServerSession("real", requires_host=True)
+        response = self._get(session)
+        assert response.status == 404
+        assert response.title == "Unknown Domain"
+
+    def test_requires_host_with_host_serves_page(self):
+        session = HttpServerSession("real", requires_host=True)
+        response = self._get(session, headers={"Host": "example.sim"})
+        assert response.status == 200
+        assert response.title == "real"
+
+    def test_head_request_no_body(self):
+        session = HttpServerSession("x")
+        request = HttpRequest(method="HEAD", path="/")
+        response = HttpResponse.decode(session.on_data(request.encode()))
+        assert response.body == b""
+
+    def test_garbage_yields_400_and_close(self):
+        session = HttpServerSession("x")
+        response = HttpResponse.decode(session.on_data(b"\x00\x01\x02"))
+        assert response.status == 400
+        assert session.closed
+
+    def test_connection_closes_after_response(self):
+        session = HttpServerSession("x")
+        self._get(session)
+        assert session.closed

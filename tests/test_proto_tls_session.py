@@ -1,0 +1,76 @@
+"""Tests for TLS-wrapped sessions (the HTTPS/MQTTS/AMQPS plumbing)."""
+
+import pytest
+
+from repro.proto.http import HttpRequest, HttpResponse, HttpServerSession
+from repro.proto.mqtt import ACCEPTED, ConnackPacket, ConnectPacket, MqttBrokerSession
+from repro.proto.ssh import SshIdentification, SshServerSession
+from repro.proto.tls_session import PlainService, TlsService, TlsWrappedSession
+from repro.tlslib.certificate import issue_self_signed
+from repro.tlslib.handshake import (
+    ALERT_HANDSHAKE_FAILURE,
+    RECORD_ALERT,
+    TlsTerminator,
+    client_hello,
+)
+from repro.tlslib.keys import derive_key
+
+
+@pytest.fixture()
+def terminator():
+    return TlsTerminator(issue_self_signed("device.sim"))
+
+
+class TestTlsWrappedSession:
+    def test_handshake_then_inner_protocol(self, terminator):
+        session = TlsWrappedSession(
+            terminator, MqttBrokerSession(require_auth=False))
+        flight = session.on_data(client_hello(None))
+        assert flight[0] == 22  # handshake record
+        connack = session.on_data(ConnectPacket(client_id="x").encode())
+        assert ConnackPacket.decode(connack).return_code == ACCEPTED
+
+    def test_non_tls_first_write_alerts_and_closes(self, terminator):
+        session = TlsWrappedSession(
+            terminator, MqttBrokerSession(require_auth=False))
+        response = session.on_data(b"GET / HTTP/1.1\r\n\r\n")
+        assert response[0] == RECORD_ALERT
+        assert response[-1] == ALERT_HANDSHAKE_FAILURE
+        assert session.closed
+
+    def test_inner_greeting_delivered_with_server_flight(self, terminator):
+        banner_session = SshServerSession(
+            SshIdentification("2.0", "OpenSSH_9.6"), derive_key("k"))
+        session = TlsWrappedSession(terminator, banner_session)
+        flight = session.on_data(client_hello(None))
+        assert flight.endswith(b"SSH-2.0-OpenSSH_9.6\r\n")
+
+    def test_inner_close_propagates(self, terminator):
+        inner = HttpServerSession("Page")
+        session = TlsWrappedSession(terminator, inner)
+        session.on_data(client_hello(None))
+        raw = session.on_data(HttpRequest("GET", "/").encode())
+        assert HttpResponse.decode(raw).title == "Page"
+        assert session.closed  # HTTP closes after one response
+
+    def test_no_greeting_before_client_hello(self, terminator):
+        session = TlsWrappedSession(terminator, HttpServerSession("x"))
+        assert session.greeting() == b""
+
+
+class TestServiceFactories:
+    def test_tls_service_fresh_session_per_accept(self, terminator):
+        service = TlsService(terminator,
+                             lambda: MqttBrokerSession(require_auth=False))
+        first = service.accept(1, 1000)
+        second = service.accept(2, 1001)
+        assert first is not second
+        first.on_data(client_hello(None))
+        # second still expects a handshake, unaffected by first's state
+        assert second.on_data(client_hello(None))[0] == 22
+
+    def test_plain_service(self):
+        service = PlainService(lambda: HttpServerSession("t"))
+        session = service.accept(1, 1000)
+        raw = session.on_data(HttpRequest("GET", "/").encode())
+        assert HttpResponse.decode(raw).title == "t"

@@ -1,0 +1,84 @@
+"""Tests for rendering helpers and the SSH release catalogue."""
+
+import pytest
+
+from repro.data import ssh_releases
+from repro.report.formatting import (
+    fmt_float,
+    fmt_int,
+    fmt_pct,
+    fmt_permille,
+    render_table,
+    shape_check,
+)
+
+
+class TestFormatting:
+    def test_fmt_int_paper_style(self):
+        assert fmt_int(3040325302) == "3 040 325 302"
+        assert fmt_int(42) == "42"
+        assert fmt_int(0) == "0"
+
+    def test_fmt_pct(self):
+        assert fmt_pct(0.284) == "28.4 %"
+        assert fmt_pct(0.435) == "43.5 %"
+        assert fmt_pct(1.0, digits=0) == "100 %"
+
+    def test_fmt_permille(self):
+        assert fmt_permille(0.00042) == "0.42 ‰"
+
+    def test_fmt_float(self):
+        assert fmt_float(3.14159, 2) == "3.14"
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(
+            ["name", "count"],
+            [["alpha", 10], ["b", 20000]],
+        )
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert lines[2].startswith("alpha")
+        assert lines[3].rstrip().endswith("20000")
+
+    def test_title(self):
+        text = render_table(["a"], [["x"]], title="Table 1")
+        assert text.splitlines()[0] == "Table 1"
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [["only one"]])
+
+    def test_shape_check(self):
+        assert shape_check("x", True).startswith("[OK ]")
+        assert shape_check("x", False).startswith("[DIVERGES]")
+
+
+class TestSshReleases:
+    def test_latest_patch(self):
+        assert ssh_releases.latest_patch("Debian", "9.2p1") == "2+deb12u3"
+        assert ssh_releases.latest_patch("Ubuntu", "9.6p1") == "3ubuntu13.5"
+
+    def test_latest_unknown(self):
+        assert ssh_releases.latest_patch("Gentoo", "1.0") is None
+
+    def test_is_outdated(self):
+        assert ssh_releases.is_outdated("Debian", "9.2p1", "2+deb12u1") is True
+        assert ssh_releases.is_outdated("Debian", "9.2p1", "2+deb12u3") is False
+        assert ssh_releases.is_outdated("Gentoo", "1.0", "x") is None
+
+    def test_releases_for(self):
+        raspbian = ssh_releases.releases_for("Raspbian")
+        assert raspbian
+        assert all(r.distro == "Raspbian" for r in raspbian)
+
+    def test_banner_helpers(self):
+        release = ssh_releases.releases_for("Debian")[0]
+        assert release.banner_software() == f"OpenSSH_{release.upstream}"
+        assert release.banner_comment("2").startswith("Debian-")
+
+    def test_patch_ordering_latest_last(self):
+        for release in ssh_releases.RELEASES:
+            assert release.latest == release.patches[-1]
+            assert len(set(release.patches)) == len(release.patches)

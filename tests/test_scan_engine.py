@@ -1,0 +1,112 @@
+"""Tests for the scan engine: protocol coverage, cool-down, pacing."""
+
+import random
+
+import pytest
+
+from repro.ipv6 import parse
+from repro.net.clock import DAY
+from repro.scan.engine import EngineConfig, ScanEngine
+from repro.scan.result import PROTOCOLS, ScanResults
+from repro.world import devices as dev
+
+SRC = parse("2001:db8:5c::1")
+PREFIX = parse("2001:db8:600::")
+
+
+@pytest.fixture()
+def rng():
+    return random.Random(11)
+
+
+@pytest.fixture()
+def fritz(network, rng):
+    device = dev.make_fritzbox(rng, 0, 0x3C3786001234)
+    device.assign_address(PREFIX, rng)
+    device.materialize(network)
+    return device
+
+
+class TestScanAddress:
+    def test_all_protocols_probed(self, network, fritz):
+        engine = ScanEngine(network, SRC, EngineConfig(drive_clock=False))
+        grabs = engine.scan_address(fritz.address)
+        assert len(grabs) == len(PROTOCOLS)
+        assert {grab.protocol for grab in grabs} == set(PROTOCOLS)
+
+    def test_fritz_answers_web_only(self, network, fritz):
+        engine = ScanEngine(network, SRC, EngineConfig(drive_clock=False))
+        outcomes = {grab.protocol: grab.ok
+                    for grab in engine.scan_address(fritz.address)}
+        assert outcomes["http"] and outcomes["https"]
+        assert not outcomes["ssh"]
+        assert not outcomes["coap"]
+
+    def test_driving_mode_advances_clock(self, network, fritz):
+        engine = ScanEngine(network, SRC, EngineConfig(
+            drive_clock=True, protocol_delay_min=10, protocol_delay_max=10))
+        start = network.clock.now()
+        engine.scan_address(fritz.address)
+        # 7 inter-protocol delays of 10s each.
+        assert network.clock.now() - start == pytest.approx(70.0)
+
+    def test_embedded_mode_freezes_clock(self, network, fritz):
+        engine = ScanEngine(network, SRC, EngineConfig(drive_clock=False))
+        start = network.clock.now()
+        engine.scan_address(fritz.address)
+        assert network.clock.now() == start
+
+
+class TestCooldown:
+    def test_cooldown_suppresses_rescan(self, network, fritz):
+        engine = ScanEngine(network, SRC, EngineConfig(drive_clock=False))
+        results = ScanResults()
+        assert engine.feed(fritz.address, results) is True
+        assert engine.feed(fritz.address, results) is False
+        assert engine.stats.targets_cooled_down == 1
+        assert len(results.http) == 1
+
+    def test_cooldown_expires(self, network, fritz):
+        engine = ScanEngine(network, SRC, EngineConfig(drive_clock=False))
+        results = ScanResults()
+        engine.feed(fritz.address, results)
+        network.clock.advance(3 * DAY + 1)
+        assert engine.feed(fritz.address, results) is True
+
+    def test_distinct_addresses_not_cooled(self, network, rng):
+        engine = ScanEngine(network, SRC, EngineConfig(drive_clock=False))
+        results = ScanResults()
+        for index in range(3):
+            device = dev.make_fritzbox(rng, index, 0x3C3786000100 + index)
+            device.assign_address(PREFIX + (index << 64), rng)
+            device.materialize(network)
+            assert engine.feed(device.address, results) is True
+        assert engine.stats.targets_scanned == 3
+
+
+class TestRun:
+    def test_run_over_target_list(self, network, fritz):
+        engine = ScanEngine(network, SRC, EngineConfig(
+            drive_clock=True, protocol_delay_min=0, protocol_delay_max=0))
+        dead = parse("2001:db8:601::1")
+        results = engine.run([fritz.address, dead], label="hitlist")
+        assert results.label == "hitlist"
+        assert results.targets_seen == 2
+        assert results.responsive_addresses("http") == {fritz.address}
+
+    def test_hit_rate(self, network, fritz):
+        engine = ScanEngine(network, SRC, EngineConfig(
+            drive_clock=True, protocol_delay_min=0, protocol_delay_max=0))
+        dead = [parse("2001:db8:602::1") + i for i in range(9)]
+        results = engine.run([fritz.address] + dead)
+        assert results.hit_rate() == pytest.approx(0.1)
+
+    def test_rate_limit_costs_time(self, network, fritz):
+        config = EngineConfig(drive_clock=True, packets_per_second=8.0,
+                              protocol_delay_min=0, protocol_delay_max=0)
+        engine = ScanEngine(network, SRC, config)
+        engine.run([fritz.address] * 1 + [parse("2001:db8:603::1")])
+        # 2 targets x 8 probes x 4 packets = 64 packets at 8 pps, minus
+        # the initial burst of 8 -> at least ~7 simulated seconds.
+        assert network.clock.now() >= 6.0
+        assert engine.stats.seconds_waited > 0

@@ -1,0 +1,59 @@
+"""Unit tests for the virtual-clock token bucket."""
+
+import pytest
+
+from repro.net.clock import VirtualClock
+from repro.scan.ratelimit import TokenBucket
+
+
+class TestTokenBucket:
+    def test_burst_available_immediately(self):
+        bucket = TokenBucket(VirtualClock(), rate=10, burst=5)
+        assert bucket.try_acquire(5)
+        assert not bucket.try_acquire(1)
+
+    def test_refill_over_time(self):
+        clock = VirtualClock()
+        bucket = TokenBucket(clock, rate=10, burst=10)
+        bucket.try_acquire(10)
+        clock.advance(0.5)
+        assert bucket.available == pytest.approx(5.0)
+        assert bucket.try_acquire(5)
+
+    def test_refill_caps_at_burst(self):
+        clock = VirtualClock()
+        bucket = TokenBucket(clock, rate=10, burst=10)
+        clock.advance(100)
+        assert bucket.available == pytest.approx(10.0)
+
+    def test_acquire_advances_clock_when_starved(self):
+        clock = VirtualClock()
+        bucket = TokenBucket(clock, rate=10, burst=10)
+        bucket.acquire(10)
+        waited = bucket.acquire(5)
+        assert waited == pytest.approx(0.5)
+        assert clock.now() == pytest.approx(0.5)
+
+    def test_acquire_no_wait_when_available(self):
+        clock = VirtualClock()
+        bucket = TokenBucket(clock, rate=10, burst=10)
+        assert bucket.acquire(3) == 0.0
+        assert clock.now() == 0.0
+
+    def test_acquire_rejects_more_than_burst(self):
+        bucket = TokenBucket(VirtualClock(), rate=10, burst=5)
+        with pytest.raises(ValueError):
+            bucket.acquire(6)
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucket(VirtualClock(), rate=0)
+
+    def test_sustained_rate(self):
+        """Over a long run, throughput converges on the configured rate."""
+        clock = VirtualClock()
+        bucket = TokenBucket(clock, rate=100, burst=100)
+        for _ in range(1000):
+            bucket.acquire(10)
+        # 10 000 tokens at 100/s minus the initial 100-token burst.
+        assert clock.now() == pytest.approx(99.0, rel=0.02)

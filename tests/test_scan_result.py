@@ -1,0 +1,95 @@
+"""Unit tests for scan result accumulation and aggregates."""
+
+import pytest
+
+from repro.scan.result import (
+    BrokerGrab,
+    CoapGrab,
+    HttpGrab,
+    ScanResults,
+    SshGrab,
+    TlsObservation,
+)
+
+
+def _http(address, ok=True, port=80, status=200, title=None, tls=None):
+    return HttpGrab(address=address, time=0.0, port=port, ok=ok,
+                    status=status, title=title, tls=tls)
+
+
+def _tls(fingerprint=b"fp1", ok=True):
+    return TlsObservation(ok=ok, fingerprint=fingerprint if ok else None)
+
+
+class TestRouting:
+    def test_http_grab_port_routing(self):
+        results = ScanResults()
+        results.add(_http(1, port=80))
+        results.add(_http(2, port=443))
+        assert len(results.http) == 1
+        assert len(results.https) == 1
+
+    def test_broker_protocol_routing(self):
+        results = ScanResults()
+        results.add(BrokerGrab(address=1, time=0, port=1883,
+                               protocol="mqtt", ok=True))
+        results.add(BrokerGrab(address=1, time=0, port=8883,
+                               protocol="mqtts", ok=True))
+        assert len(results.mqtt) == 1
+        assert len(results.mqtts) == 1
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(KeyError):
+            ScanResults().grabs("gopher")
+
+    def test_non_grab_rejected(self):
+        with pytest.raises(TypeError):
+            ScanResults().add("not a grab")
+
+
+class TestAggregates:
+    def test_responsive_addresses_dedup(self):
+        results = ScanResults()
+        results.add(_http(1))
+        results.add(_http(1))
+        results.add(_http(2, ok=False))
+        assert results.responsive_addresses("http") == {1}
+
+    def test_tls_addresses_require_handshake_success(self):
+        results = ScanResults()
+        results.add(_http(1, port=443, tls=_tls(ok=True)))
+        results.add(_http(2, port=443, tls=_tls(ok=False)))
+        results.add(_http(3, port=443, tls=None))
+        assert results.tls_addresses("https") == {1}
+
+    def test_unique_fingerprints_https(self):
+        results = ScanResults()
+        results.add(_http(1, port=443, tls=_tls(b"a")))
+        results.add(_http(2, port=443, tls=_tls(b"a")))
+        results.add(_http(3, port=443, tls=_tls(b"b")))
+        assert len(results.unique_fingerprints("https")) == 2
+
+    def test_unique_fingerprints_ssh(self):
+        results = ScanResults()
+        results.add(SshGrab(address=1, time=0, ok=True,
+                            key_fingerprint=b"k1"))
+        results.add(SshGrab(address=2, time=0, ok=True,
+                            key_fingerprint=b"k1"))
+        assert len(results.unique_fingerprints("ssh")) == 1
+
+    def test_merged_http(self):
+        results = ScanResults()
+        results.add(_http(1, port=80))
+        results.add(_http(2, port=443, tls=_tls()))
+        assert len(results.merged_http()) == 2
+
+    def test_hit_rate_counts_any_protocol(self):
+        results = ScanResults()
+        results.targets_seen = 10
+        results.add(_http(1))
+        results.add(CoapGrab(address=2, time=0, ok=True))
+        results.add(SshGrab(address=1, time=0, ok=True))  # same address
+        assert results.hit_rate() == pytest.approx(0.2)
+
+    def test_hit_rate_empty(self):
+        assert ScanResults().hit_rate() == 0.0

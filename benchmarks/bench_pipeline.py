@@ -1,5 +1,7 @@
 """End-to-end pipeline cost: one full (small) study per round."""
 
+import time
+
 from benchmarks.conftest import write_report
 from repro.core.campaign import CampaignConfig
 from repro.core.pipeline import ExperimentConfig, run_experiment
@@ -7,11 +9,12 @@ from repro.report import fmt_int, shape_check
 from repro.world.population import WorldConfig
 
 
-def _small_study():
+def _small_study(shards=1):
     return run_experiment(ExperimentConfig(
         world=WorldConfig(scale=0.1),
         campaign=CampaignConfig(days=14, wire_fraction=0.02),
         rl_days=3, gap_days=3, lead_days=10, final_days=4,
+        scan_shards=shards,
     ))
 
 
@@ -35,3 +38,74 @@ def test_pipeline_end_to_end(benchmark):
         "collected": len(result.ntp_dataset),
     })
     assert len(result.ntp_dataset) > 0
+
+
+def test_pipeline_sharded_vs_single(benchmark):
+    """shards=4 must merge to identical results at no extra cost."""
+    single_times, sharded_times = [], []
+    results = {}
+
+    def _paired_round():
+        """One single + one sharded study, back to back.
+
+        Interleaving the two configurations inside each round cancels
+        machine-load drift, and alternating which goes first cancels
+        the position effect (the second study runs on a dirtier heap).
+        """
+        single_first = len(single_times) % 2 == 0
+        order = (1, 4) if single_first else (4, 1)
+        # CPU time, not wall clock: the comparison must not hinge on
+        # scheduler preemption by whatever else shares this machine.
+        start = time.process_time()
+        first = _small_study(shards=order[0])
+        mid = time.process_time()
+        second = _small_study(shards=order[1])
+        end = time.process_time()
+        if single_first:
+            results["single"], results["sharded"] = first, second
+            single_times.append(mid - start)
+            sharded_times.append(end - mid)
+        else:
+            results["sharded"], results["single"] = first, second
+            sharded_times.append(mid - start)
+            single_times.append(end - mid)
+
+    benchmark.pedantic(_paired_round, rounds=4, iterations=1,
+                       warmup_rounds=1)
+    # The warmup pair lands in the lists too; drop it — its first leg
+    # pays cold-start costs (imports, allocator growth) unfairly.
+    single_times, sharded_times = single_times[1:], sharded_times[1:]
+    rounds = len(single_times)
+    single, sharded = results["single"], results["sharded"]
+
+    def _median(times):
+        ordered = sorted(times)
+        return ordered[len(ordered) // 2]
+
+    single_median = _median(single_times)
+    sharded_median = _median(sharded_times)
+
+    identical = all(
+        single.hitlist_scan.responsive_addresses(protocol)
+        == sharded.hitlist_scan.responsive_addresses(protocol)
+        for protocol in single.hitlist_scan.protocols())
+    text = (
+        "Sharded scan engine vs single engine (scale 0.1 study)\n"
+        f"  single engine (median of {rounds}):  {single_median:8.3f} cpu-s\n"
+        f"  4 shards      (median of {rounds}):  {sharded_median:8.3f} cpu-s\n"
+        f"  ratio (sharded/single):      "
+        f"{sharded_median / single_median:8.3f}\n"
+    )
+    text += "\n" + shape_check(
+        "sharded responsive sets identical to single engine", identical)
+    text += "\n" + shape_check(
+        "sharding adds no end-to-end slowdown (<=5% tolerance)",
+        sharded_median <= single_median * 1.05)
+    write_report("pipeline_sharded_vs_single", text)
+
+    benchmark.extra_info.update({
+        "single_median_cpu_s": round(single_median, 4),
+        "sharded_median_cpu_s": round(sharded_median, 4),
+    })
+    assert identical
+    assert sharded.hitlist_scan.targets_seen == single.hitlist_scan.targets_seen

@@ -9,7 +9,7 @@ network) and Figures 5–6 (security by network).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Mapping, Sequence, Tuple
 
 from repro.ipv6 import address as addrmod
 from repro.scan.result import PROTOCOLS, ScanResults

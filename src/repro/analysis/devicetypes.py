@@ -15,12 +15,12 @@ answered a probe:
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
 
 from repro.analysis.levenshtein import TitleGroup, cluster_counts
 from repro.proto.ssh import SshIdentification, extract_os
-from repro.scan.result import CoapGrab, HttpGrab, ScanResults, SshGrab
+from repro.scan.result import ScanResults
 
 #: Placeholder label for responses without an HTML title.
 NO_TITLE = "(no title present)"

@@ -10,7 +10,7 @@ greedy centroid clustering on top.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 #: The paper's grouping threshold on normalized distance.
 DEFAULT_THRESHOLD = 0.25

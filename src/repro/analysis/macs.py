@@ -10,8 +10,8 @@ locations saw which MAC classes — uses the dataset's per-server index.
 from __future__ import annotations
 
 from collections import Counter, defaultdict
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Tuple
 
 from repro.core.collector import CollectedDataset
 from repro.ipv6 import eui64

@@ -15,7 +15,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from repro.data.ssh_releases import is_outdated
 from repro.proto.ssh import SshIdentification, debian_patch_level

@@ -16,7 +16,7 @@ from __future__ import annotations
 import argparse
 import sys
 from collections import Counter
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.analysis import devicetypes, security
 from repro.core.actors import NtpSourcingActor, covert_profile, research_profile
@@ -74,10 +74,22 @@ def cmd_collect(args: argparse.Namespace) -> int:
 
 
 def cmd_study(args: argparse.Namespace) -> int:
+    protocols = tuple(args.protocols.split(",")) if args.protocols else None
+    if protocols:
+        unknown = [name for name in protocols if name not in PROTOCOLS]
+        if unknown:
+            print(f"error: unknown protocol(s) {', '.join(sorted(unknown))}; "
+                  f"choose from {', '.join(PROTOCOLS)}", file=sys.stderr)
+            return 2
+    if args.shards < 1:
+        print("error: --shards must be >= 1", file=sys.stderr)
+        return 2
     result = run_experiment(ExperimentConfig(
         world=WorldConfig(seed=args.seed, scale=args.scale),
         campaign=CampaignConfig(wire_fraction=args.wire),
         include_rl=not args.no_rl,
+        scan_shards=args.shards,
+        protocols=protocols,
     ))
 
     if args.full_report:
@@ -96,7 +108,7 @@ def cmd_study(args: argparse.Namespace) -> int:
         title="Table 1 - datasets"))
 
     rows = []
-    for protocol in PROTOCOLS:
+    for protocol in (protocols or PROTOCOLS):
         rows.append([
             protocol,
             fmt_int(len(result.ntp_scan.responsive_addresses(protocol))),
@@ -227,6 +239,11 @@ def build_parser() -> argparse.ArgumentParser:
     study.add_argument("--wire", type=float, default=0.02)
     study.add_argument("--no-rl", action="store_true",
                        help="skip the R&L-style pre-campaign")
+    study.add_argument("--shards", type=int, default=1,
+                       help="fan scan engines out over N shards (default 1)")
+    study.add_argument("--protocols",
+                       help="comma-separated probe profile, e.g. ssh,coap "
+                            "(default: all eight paper protocols)")
     study.add_argument("--out-dir",
                        help="save dataset + scan results as JSONL")
     study.add_argument("--full-report", action="store_true",

@@ -21,8 +21,8 @@ The telescope (same module family) observes the resulting SYNs.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
 
 from repro.net.clock import DAY, EventScheduler, HOUR, MINUTE
 from repro.ntp.packet import NtpPacket

@@ -5,6 +5,13 @@ feeds a :class:`CollectedDataset` — the growing set of client IPv6
 addresses with observation metadata.  The dataset is the object every
 downstream analysis consumes: Table 1's counts, Figure 1's structure
 profile, Appendix B's MAC analysis, and the real-time scan queue.
+
+First sightings are published as typed
+:class:`~repro.runtime.bus.AddressSighted` events on the dataset's
+:class:`~repro.runtime.bus.EventBus` — the trigger of the paper's
+real-time scans.  The seed-era callback API
+(:meth:`CollectedDataset.add_new_address_hook`) remains as a thin
+adapter over the bus.
 """
 
 from __future__ import annotations
@@ -15,6 +22,7 @@ from typing import Callable, Dict, Iterator, List, Optional, Set
 from repro.net.simnet import Network
 from repro.ntp.packet import NtpPacket
 from repro.ntp.server import NtpServer
+from repro.runtime.bus import AddressSighted, EventBus
 
 #: Observer invoked when an address is seen for the very first time:
 #: (address, first_seen_time, server_location).
@@ -38,11 +46,19 @@ class CollectedDataset:
     observations: Dict[int, AddressObservation] = field(default_factory=dict)
     per_server: Dict[str, Set[int]] = field(default_factory=dict)
     total_requests: int = 0
-    _new_address_hooks: List[NewAddressHook] = field(default_factory=list)
+    #: First-sightings publish :class:`AddressSighted` events here.
+    bus: EventBus = field(default_factory=EventBus)
 
     def add_new_address_hook(self, hook: NewAddressHook) -> None:
-        """Subscribe to first-sightings (the real-time scan trigger)."""
-        self._new_address_hooks.append(hook)
+        """Subscribe to first-sightings (the real-time scan trigger).
+
+        Seed-era adapter: wraps ``hook`` as an :class:`AddressSighted`
+        subscriber on :attr:`bus`.
+        """
+        self.bus.subscribe(
+            AddressSighted,
+            lambda event: hook(event.address, event.time,
+                               event.server_location))
 
     def record(self, address: int, time: float, server_location: str,
                requests: int = 1) -> bool:
@@ -60,8 +76,8 @@ class CollectedDataset:
         self.observations[address] = AddressObservation(
             first_seen=time, last_seen=time, requests=requests,
         )
-        for hook in self._new_address_hooks:
-            hook(address, time, server_location)
+        self.bus.publish(AddressSighted(
+            address=address, time=time, server_location=server_location))
         return True
 
     # -- views ------------------------------------------------------------

@@ -9,10 +9,9 @@ and median address density per /48 and per AS.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Sequence
 
 from repro.ipv6 import address as addrmod
-from repro.ipv6.aggregation import GroupedDensity
 from repro.world.asdb import AsDatabase
 
 

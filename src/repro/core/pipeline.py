@@ -13,17 +13,26 @@ timeline on one simulated world:
    — matching the paper's August 9–16 window);
 4. the assembled :class:`ExperimentResult`, the single object every
    table/figure bench consumes.
+
+Both scan paths run on the staged runtime (`repro.runtime`): the
+campaign's dataset publishes ``AddressSighted`` events, the real-time
+queue consumes them as a bounded stage, and the engines draw their
+probe set from a pluggable registry.  ``scan_shards > 1`` fans both
+engines out across hash-partitioned shards with deterministic merged
+results.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Tuple
 
 from repro.core.campaign import CampaignConfig, CollectionCampaign, rl_2022_config
 from repro.core.collector import CollectedDataset
 from repro.core.comparison import ComparisonTable, DatasetComparison
 from repro.core.realtime import RealTimeScanQueue
+from repro.runtime.registry import ProbeRegistry, default_registry
+from repro.runtime.sharding import ShardedScanEngine
 from repro.scan.engine import EngineConfig, ScanEngine
 from repro.scan.result import ScanResults
 from repro.world.hitlist import Hitlist, HitlistConfig, build_hitlist
@@ -46,6 +55,12 @@ class ExperimentConfig:
     lead_days: int = 21
     final_days: int = 7
     scan_seed: int = 0x51AB
+    #: Fan each scan engine out over N hash-partitioned shards (1 = the
+    #: single-engine path).  Embedded-mode results are shard-invariant.
+    scan_shards: int = 1
+    #: Restrict the campaign's probe profile to these protocols (None =
+    #: the paper's full eight-protocol registry).
+    protocols: Optional[Tuple[str, ...]] = None
 
 
 @dataclass
@@ -75,21 +90,41 @@ class ExperimentResult:
         return self.comparison().table("ntp")
 
 
+#: The study scanner's self-identifying PTR name (Appendix A.2.2).
+SCANNER_PTR_NAME = "ipv6-research-scan.comsys.example.edu"
+
+
 def _scanner_source(world: World) -> int:
     """Allocate the study's scanner address inside a research AS.
 
     Placing the scanner in identifiable research address space mirrors
     the paper's ethics setup (reverse-DNS + info pages) and lets the
-    Section 5 detector classify our own scans as an overt actor.
+    Section 5 detector classify our own scans as an overt actor.  The
+    study runs *one* scanner identity: allocating a second address
+    under the same PTR name is a bug (the seed did exactly that for the
+    hitlist engine), so duplicate registration is rejected here.
     """
     for system in world.asdb.systems:
         if system.category == "Educational/Research":
             source = world.allocate_prefix64(system.number) | 0x10
-            world.rdns.register(
-                source, "ipv6-research-scan.comsys.example.edu")
+            existing = world.rdns.addresses_of(SCANNER_PTR_NAME)
+            if existing:
+                raise RuntimeError(
+                    f"scanner identity {SCANNER_PTR_NAME!r} already "
+                    f"registered to {existing[0]:#x}; reuse that source")
+            world.rdns.register(source, SCANNER_PTR_NAME)
             return source
     # Fallback: infrastructure space (no research AS configured).
     return int("20010db8000000000000000000000010", 16)
+
+
+def _build_engine(world: World, source: int, config: EngineConfig,
+                  registry: ProbeRegistry, shards: int):
+    """One scan engine — sharded when the experiment asks for it."""
+    if shards > 1:
+        return ShardedScanEngine(world.network, source, config,
+                                 registry=registry, shards=shards)
+    return ScanEngine(world.network, source, config, registry=registry)
 
 
 def run_experiment(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
@@ -108,11 +143,19 @@ def run_experiment(config: Optional[ExperimentConfig] = None) -> ExperimentResul
 
     from repro.scan.ethics import publish_scanner_identity
 
+    registry = default_registry()
+    if config.protocols is not None:
+        registry = registry.subset(*config.protocols)
+
+    # One scanner identity serves both scan paths (the paper scans the
+    # NTP feed and the hitlist from the same research vantage point).
     scanner_source = _scanner_source(world)
-    publish_scanner_identity(world.network, scanner_source, world.rdns)
-    engine = ScanEngine(
-        world.network, scanner_source,
+    publish_scanner_identity(world.network, scanner_source, world.rdns,
+                             ptr_name=SCANNER_PTR_NAME)
+    engine = _build_engine(
+        world, scanner_source,
         EngineConfig(drive_clock=False, seed=config.scan_seed),
+        registry, config.scan_shards,
     )
     queue = RealTimeScanQueue(engine)
     campaign = CollectionCampaign(world, config.campaign, scan_queue=queue)
@@ -122,9 +165,10 @@ def run_experiment(config: Optional[ExperimentConfig] = None) -> ExperimentResul
     # while a second engine walks the full hitlist.
     hitlist = build_hitlist(world, config.hitlist)
     campaign.advance_days(config.final_days)
-    hitlist_engine = ScanEngine(
-        world.network, _scanner_source(world),
+    hitlist_engine = _build_engine(
+        world, scanner_source,
         EngineConfig(drive_clock=False, seed=config.scan_seed ^ 0xFF),
+        registry, config.scan_shards,
     )
     hitlist_scan = hitlist_engine.run(sorted(hitlist.full), label="hitlist")
 

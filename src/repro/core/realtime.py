@@ -5,56 +5,111 @@ a necessity, not an optimization: end-user addresses churn so fast that
 a batch scan hours later would mostly probe dead addresses (Section 6,
 "aggregating NTP-sourced addresses into a list is not useful").
 
-:class:`RealTimeScanQueue` subscribes to a dataset's first-sighting
-hook and drives a :class:`~repro.scan.engine.ScanEngine` in embedded
-mode.  A configurable reaction delay models the scanner's queueing; the
-effect of raising it is measurable with the staleness ablation bench.
+:class:`RealTimeScanQueue` is a :class:`~repro.runtime.stage.Stage` on
+the sourcing→scan event bus: it subscribes to
+:class:`~repro.runtime.bus.AddressSighted`, buffers sightings in a
+:class:`~repro.runtime.stage.BoundedQueue` (real scanner intakes are
+finite — when sourcing outruns the scanner, targets are *dropped and
+accounted*, not silently queued forever), and drives a
+:class:`~repro.scan.engine.ScanEngine` in embedded mode.  Sampled-out
+and dropped targets still count toward ``results.targets_seen`` so hit
+rates keep the right denominator.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Optional
+from typing import Mapping, Optional, Type, Union
 
 from repro.core.collector import CollectedDataset
-from repro.scan.engine import ScanEngine
+from repro.runtime.bus import AddressSighted, Event, EventBus, Handler
+from repro.runtime.stage import BoundedQueue, Stage, StageStats
 from repro.scan.result import ScanResults
+
+#: Default intake capacity: generous enough that the paper-shaped
+#: campaigns never drop, small enough that runaway sourcing surfaces
+#: as accounted drops instead of unbounded memory.
+DEFAULT_CAPACITY = 65_536
 
 
 @dataclass
-class RealTimeStats:
-    """Counters for the coupling layer."""
+class RealTimeStats(StageStats):
+    """Counters for the coupling layer.
+
+    Extends the uniform stage counters (``received``, ``processed``,
+    ``dropped``) with the seed-era names the benches report.
+    """
 
     triggered: int = 0
     scanned: int = 0
     suppressed: int = 0
 
 
-class RealTimeScanQueue:
+class RealTimeScanQueue(Stage):
     """Scans every newly collected address as it arrives."""
 
-    def __init__(self, engine: ScanEngine, results: Optional[ScanResults] = None,
-                 *, sample_rate: float = 1.0, seed: int = 0x5EED) -> None:
+    name = "realtime-scan"
+
+    def __init__(self, engine, results: Optional[ScanResults] = None,
+                 *, sample_rate: float = 1.0, seed: int = 0x5EED,
+                 capacity: int = DEFAULT_CAPACITY,
+                 auto_drain: bool = True) -> None:
         if not 0.0 < sample_rate <= 1.0:
             raise ValueError(f"sample_rate must be in (0, 1], got {sample_rate}")
+        super().__init__()
         self.engine = engine
         self.results = results if results is not None else ScanResults(label="ntp")
         self.sample_rate = sample_rate
         self.stats = RealTimeStats()
+        self.queue: BoundedQueue = BoundedQueue(capacity)
+        #: Drain after every intake (the paper's real-time behaviour).
+        #: Disable to batch intakes and drain explicitly — the staleness
+        #: ablation and the backpressure tests do.
+        self.auto_drain = auto_drain
         self._rng = random.Random(seed)
 
-    def attach(self, dataset: CollectedDataset) -> None:
-        """Subscribe to the dataset's first-sighting events."""
-        dataset.add_new_address_hook(self._on_new_address)
+    # -- stage wiring -----------------------------------------------------
 
-    def _on_new_address(self, address: int, time: float,
-                        server_location: str) -> None:
+    def subscriptions(self) -> Mapping[Type[Event], Handler]:
+        return {AddressSighted: self._on_sighting}
+
+    def attach(self, source: Union[CollectedDataset, EventBus]) -> "RealTimeScanQueue":
+        """Subscribe to a dataset's (or bus's) first-sighting events."""
+        bus = source.bus if isinstance(source, CollectedDataset) else source
+        super().attach(bus)
+        return self
+
+    # -- intake -----------------------------------------------------------
+
+    def _on_sighting(self, event: AddressSighted) -> None:
+        self.stats.received += 1
         self.stats.triggered += 1
         if self.sample_rate < 1.0 and self._rng.random() > self.sample_rate:
             self.stats.suppressed += 1
             # Still count the target so hit rates use the right denominator.
             self.results.targets_seen += 1
             return
-        if self.engine.feed(address, self.results):
-            self.stats.scanned += 1
+        if not self.queue.push(event):
+            # Intake full: the scanner cannot keep up.  Account the drop
+            # and keep the denominator consistent with the other paths.
+            self.stats.dropped += 1
+            self.results.targets_seen += 1
+            return
+        if self.auto_drain:
+            self.drain()
+
+    def drain(self, limit: int = -1) -> int:
+        """Scan up to ``limit`` queued targets (all when negative)."""
+        drained = 0
+        for event in self.queue.drain(limit):
+            drained += 1
+            self.stats.processed += 1
+            if self.engine.feed(event.address, self.results):
+                self.stats.scanned += 1
+        return drained
+
+    @property
+    def pending(self) -> int:
+        """Targets waiting in the intake queue."""
+        return len(self.queue)

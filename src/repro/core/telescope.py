@@ -12,8 +12,8 @@ or random IPv6 scanning that happened to wander into the prefix.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from repro.ipv6 import address as addrmod
 from repro.net.packet import PacketRecord, Transport

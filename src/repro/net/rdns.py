@@ -12,7 +12,7 @@ because that is all both the ethics setup and the detector consume.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional
+from typing import Dict, Iterable, List, Optional
 
 #: Substrings that mark a PTR name as self-identifying research.
 RESEARCH_MARKERS = ("research", "scan", "survey", "measurement")
@@ -38,6 +38,16 @@ class ReverseDns:
     def lookup(self, address: int) -> Optional[str]:
         """The PTR name of an address, or None (NXDOMAIN)."""
         return self._records.get(address)
+
+    def addresses_of(self, name: str) -> List[int]:
+        """Every address publishing ``name`` (duplicate-identity check).
+
+        Real PTR records are address-keyed, so the same name *can* be
+        registered on many addresses; callers that require a unique
+        identity (the study scanner) use this to assert it.
+        """
+        return [address for address, ptr in self._records.items()
+                if ptr == name]
 
     def identifies_research(self, address: int) -> bool:
         """Whether the address self-identifies as a research scanner."""

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Protocol, Tuple
+from typing import Callable, Dict, List, Optional, Protocol
 
 from repro.net.clock import VirtualClock
 from repro.net.packet import Datagram, PacketRecord, Transport

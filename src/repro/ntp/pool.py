@@ -16,8 +16,8 @@ gain/lose traffic.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 from repro.net.simnet import Network
 from repro.ntp.client import NtpClient

@@ -9,7 +9,7 @@ timestamp.  The :mod:`repro.core.collector` subscribes to that hook.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, List, Optional
 
 from repro.net.clock import VirtualClock

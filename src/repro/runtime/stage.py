@@ -1,0 +1,96 @@
+"""Stages: bus subscribers with bounded queues and drop accounting.
+
+A :class:`Stage` is one processing step of the sourcing→scan path.  It
+subscribes to the event types it consumes, buffers work in a
+:class:`BoundedQueue` (real scanners have finite intake — zgrab2 reads
+from a pipe that can fill), and accounts explicitly for every event it
+had to drop.  Backpressure in this synchronous simulation is therefore
+*visible* instead of silently absorbed: a stage that cannot keep up
+reports ``stats.dropped`` rather than growing without bound.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Generic, Iterator, Mapping, Type, TypeVar
+
+from repro.runtime.bus import Event, EventBus, Handler
+
+T = TypeVar("T")
+
+
+@dataclass
+class StageStats:
+    """Uniform counters every stage exposes."""
+
+    received: int = 0
+    processed: int = 0
+    dropped: int = 0
+
+
+class BoundedQueue(Generic[T]):
+    """A FIFO with a hard capacity and drop accounting.
+
+    ``push`` returns ``False`` (and counts a drop) instead of growing
+    past ``capacity`` — the explicit backpressure signal stages report.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.dropped = 0
+        self._items: Deque[T] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def push(self, item: T) -> bool:
+        """Enqueue ``item``; False when the queue is full (item dropped)."""
+        if len(self._items) >= self.capacity:
+            self.dropped += 1
+            return False
+        self._items.append(item)
+        return True
+
+    def pop(self) -> T:
+        """Dequeue the oldest item (raises IndexError when empty)."""
+        return self._items.popleft()
+
+    def drain(self, limit: int = -1) -> Iterator[T]:
+        """Yield up to ``limit`` items (all when negative), FIFO order."""
+        count = 0
+        while self._items and (limit < 0 or count < limit):
+            count += 1
+            yield self._items.popleft()
+
+
+class Stage:
+    """Base class for pipeline stages living on an :class:`EventBus`.
+
+    Subclasses declare the event types they consume via
+    :meth:`subscriptions`; :meth:`attach` wires them to a bus and
+    returns self so construction chains.
+    """
+
+    name: str = "stage"
+
+    def __init__(self) -> None:
+        self.stats = StageStats()
+        self._unsubscribers = []
+
+    def subscriptions(self) -> Mapping[Type[Event], Handler]:
+        """Event type → handler map; override in subclasses."""
+        return {}
+
+    def attach(self, bus: EventBus) -> "Stage":
+        """Subscribe this stage's handlers to ``bus``."""
+        for event_type, handler in self.subscriptions().items():
+            self._unsubscribers.append(bus.subscribe(event_type, handler))
+        return self
+
+    def detach(self) -> None:
+        """Remove this stage from every bus it was attached to."""
+        while self._unsubscribers:
+            self._unsubscribers.pop()()

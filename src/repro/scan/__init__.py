@@ -1,6 +1,12 @@
 """Scanning substrate: engine, rate limiting, protocol grab modules."""
 
-from repro.scan.engine import EngineConfig, EngineStats, ScanEngine
+from repro.scan.engine import (
+    EngineConfig,
+    EngineStats,
+    ProbeExecutor,
+    ScanEngine,
+    ScanScheduler,
+)
 from repro.scan.ethics import EthicsPolicy, OptOutList, publish_scanner_identity
 from repro.scan.ratelimit import TokenBucket
 from repro.scan.result import (
@@ -25,7 +31,9 @@ __all__ = [
     "HttpGrab",
     "PROTOCOLS",
     "PROTOCOL_PORTS",
+    "ProbeExecutor",
     "ScanEngine",
+    "ScanScheduler",
     "ScanResults",
     "SshGrab",
     "TLS_PROTOCOLS",

@@ -1,14 +1,18 @@
 """The scan engine: zgrab2-with-a-scheduler for the simulated network.
 
-One engine drives all eight protocol probes (HTTP, HTTPS, SSH, MQTT,
-MQTTS, AMQP, AMQPS, CoAP) against a target address, honouring the
-paper's operational rules:
+The engine is two collaborating parts behind one facade:
 
-* a global packets-per-second budget (Appendix A.2.1: 100 kpps);
-* a per-address cool-down — the same IP is not re-scanned for three
-  days after a scan;
-* inter-protocol delays of 10 s – 10 min so low-powered devices are
-  not hammered.
+* a :class:`ScanScheduler` doing admission control — the global
+  packets-per-second budget (Appendix A.2.1: 100 kpps), the per-address
+  cool-down (the same IP is not re-scanned for three days), and the
+  10 s – 10 min inter-protocol politeness delays.  Cool-down state is
+  TTL-pruned so week-long campaigns do not accumulate an unbounded
+  last-scanned map;
+* a :class:`ProbeExecutor` running the probe modules of a pluggable
+  :class:`~repro.runtime.registry.ProbeRegistry` against each admitted
+  target.  Campaigns pick their protocol profile by handing the engine
+  a different registry; the default reproduces the paper's eight probes
+  (HTTP, HTTPS, SSH, MQTT, MQTTS, AMQP, AMQPS, CoAP).
 
 The engine has two temporal modes.  In **driving** mode (hitlist
 campaigns) it owns the virtual clock: the rate limiter and politeness
@@ -22,34 +26,15 @@ addresses does not distort the collection timeline it is embedded in
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional
 
 from repro.net.clock import DAY
 from repro.net.simnet import Network
+from repro.runtime.registry import ProbeRegistry, default_registry
 from repro.scan.ethics import EthicsPolicy
-from repro.scan.modules.amqp import scan_amqp, scan_amqps
-from repro.scan.modules.coap import scan_coap
-from repro.scan.modules.http import scan_http, scan_https
-from repro.scan.modules.mqtt import scan_mqtt, scan_mqtts
-from repro.scan.modules.ssh import scan_ssh
 from repro.scan.ratelimit import TokenBucket
 from repro.scan.result import Grab, ScanResults
-
-#: Probe order and dispatch table.
-_MODULES = (
-    ("http", scan_http),
-    ("https", scan_https),
-    ("ssh", scan_ssh),
-    ("mqtt", scan_mqtt),
-    ("mqtts", scan_mqtts),
-    ("amqp", scan_amqp),
-    ("amqps", scan_amqps),
-    ("coap", scan_coap),
-)
-
-#: Approximate packet cost charged per protocol probe.
-_PACKETS_PER_PROBE = 4.0
 
 
 @dataclass
@@ -64,6 +49,8 @@ class EngineConfig:
     #: limiting and politeness delays.  Embedded mode leaves the clock
     #: alone and only jitters recorded timestamps.
     drive_clock: bool = True
+    #: Admissions between cool-down map sweeps (see ScanScheduler).
+    prune_every: int = 4096
     seed: int = 0x5CA7
 
 
@@ -76,46 +63,142 @@ class EngineStats:
     targets_cooled_down: int = 0
     probes_sent: int = 0
     seconds_waited: float = 0.0
+    #: Expired cool-down entries evicted by the scheduler's sweeps.
+    cooldown_pruned: int = 0
 
 
-class ScanEngine:
-    """Scans targets with all protocol modules, under the config's rules."""
+class ScanScheduler:
+    """Admission control: rate budget, TTL'd cool-down, politeness.
 
-    def __init__(self, network: Network, source: int,
-                 config: Optional[EngineConfig] = None,
-                 ethics: Optional[EthicsPolicy] = None) -> None:
+    Owns every piece of pacing state the seed engine kept inline, plus
+    the fix for its unbounded memory: the last-scanned map is swept
+    every ``config.prune_every`` admissions, evicting entries whose
+    cool-down has already expired (they would admit anyway, so dropping
+    them is behaviour-neutral).
+    """
+
+    def __init__(self, network: Network, config: EngineConfig,
+                 stats: EngineStats, rng: random.Random) -> None:
         self.network = network
-        self.source = source
-        self.config = config or EngineConfig()
-        self.ethics = ethics
-        self.rng = random.Random(self.config.seed)
+        self.config = config
+        self.stats = stats
+        self.rng = rng
         self.bucket = TokenBucket(
-            network.clock, rate=self.config.packets_per_second,
-            burst=self.config.packets_per_second,
+            network.clock, rate=config.packets_per_second,
+            burst=config.packets_per_second,
         )
-        self.stats = EngineStats()
         self._last_scanned: Dict[int, float] = {}
-        network.add_host(source, reachable=True)
+        self._admissions = 0
 
-    # -- single target ----------------------------------------------------
+    @property
+    def tracked_targets(self) -> int:
+        """Size of the cool-down map (bounded-memory regression hook)."""
+        return len(self._last_scanned)
 
-    def scan_address(self, target: int) -> List[Grab]:
-        """Run every protocol probe against one address, in order."""
-        grabs: List[Grab] = []
-        for index, (name, probe) in enumerate(_MODULES):
-            if self.config.drive_clock:
-                self.stats.seconds_waited += self.bucket.acquire(
-                    _PACKETS_PER_PROBE
-                )
-                if index > 0:
-                    self.network.clock.advance(self._protocol_delay())
-            self.stats.probes_sent += 1
-            grabs.append(probe(self.network, self.source, target))
-        return grabs
+    def admit(self, target: int) -> bool:
+        """Whether ``target`` may be scanned now; records the scan time."""
+        now = self.network.clock.now()
+        last = self._last_scanned.get(target)
+        if last is not None and now - last < self.config.cooldown:
+            self.stats.targets_cooled_down += 1
+            return False
+        self._last_scanned[target] = now
+        self._admissions += 1
+        if self._admissions % self.config.prune_every == 0:
+            self.prune(now)
+        return True
+
+    def prune(self, now: Optional[float] = None) -> int:
+        """Evict cool-down entries that already expired; returns count."""
+        if now is None:
+            now = self.network.clock.now()
+        horizon = now - self.config.cooldown
+        expired = [address for address, last in self._last_scanned.items()
+                   if last <= horizon]
+        for address in expired:
+            del self._last_scanned[address]
+        self.stats.cooldown_pruned += len(expired)
+        return len(expired)
+
+    def pace(self, packet_cost: float, first_probe: bool) -> None:
+        """Charge one probe against the budget (driving mode only)."""
+        self.stats.seconds_waited += self.bucket.acquire(packet_cost)
+        if not first_probe:
+            self.network.clock.advance(self._protocol_delay())
 
     def _protocol_delay(self) -> float:
         return self.rng.uniform(self.config.protocol_delay_min,
                                 self.config.protocol_delay_max)
+
+
+class ProbeExecutor:
+    """Runs a registry's probe modules against admitted targets."""
+
+    def __init__(self, network: Network, source: int,
+                 registry: ProbeRegistry, stats: EngineStats) -> None:
+        self.network = network
+        self.source = source
+        self.registry = registry
+        self.stats = stats
+
+    def execute(self, target: int,
+                scheduler: Optional[ScanScheduler] = None) -> List[Grab]:
+        """Probe ``target`` with every registered module, in order."""
+        grabs: List[Grab] = []
+        for index, spec in enumerate(self.registry):
+            if scheduler is not None:
+                scheduler.pace(spec.packet_cost, first_probe=index == 0)
+            self.stats.probes_sent += 1
+            grabs.append(spec.probe(self.network, self.source, target))
+        return grabs
+
+    def execute_into(self, target: int, results: ScanResults,
+                     scheduler: Optional[ScanScheduler] = None) -> None:
+        """Like :meth:`execute`, appending straight into ``results``.
+
+        Skips the per-grab isinstance dispatch of
+        :meth:`ScanResults.add` — the hot path of every campaign.
+        """
+        network, source = self.network, self.source
+        for index, spec in enumerate(self.registry):
+            if scheduler is not None:
+                scheduler.pace(spec.packet_cost, first_probe=index == 0)
+            self.stats.probes_sent += 1
+            grab = spec.probe(network, source, target)
+            results.bucket(grab.protocol).append(grab)
+
+
+class ScanEngine:
+    """Scans targets with the registered probes, under the config's rules."""
+
+    def __init__(self, network: Network, source: int,
+                 config: Optional[EngineConfig] = None,
+                 ethics: Optional[EthicsPolicy] = None,
+                 registry: Optional[ProbeRegistry] = None) -> None:
+        self.network = network
+        self.source = source
+        self.config = config or EngineConfig()
+        self.ethics = ethics
+        self.registry = registry if registry is not None else default_registry()
+        self.rng = random.Random(self.config.seed)
+        self.stats = EngineStats()
+        self.scheduler = ScanScheduler(network, self.config, self.stats,
+                                       self.rng)
+        self.executor = ProbeExecutor(network, source, self.registry,
+                                      self.stats)
+        network.add_host(source, reachable=True)
+
+    @property
+    def bucket(self) -> TokenBucket:
+        """The scheduler's rate limiter (seed-era accessor)."""
+        return self.scheduler.bucket
+
+    # -- single target ----------------------------------------------------
+
+    def scan_address(self, target: int) -> List[Grab]:
+        """Run every registered probe against one address, in order."""
+        pacer = self.scheduler if self.config.drive_clock else None
+        return self.executor.execute(target, pacer)
 
     # -- campaign feeding ---------------------------------------------------
 
@@ -128,15 +211,11 @@ class ScanEngine:
         results.targets_seen += 1
         if self.ethics is not None and not self.ethics.permits(target):
             return False
-        now = self.network.clock.now()
-        last = self._last_scanned.get(target)
-        if last is not None and now - last < self.config.cooldown:
-            self.stats.targets_cooled_down += 1
+        if not self.scheduler.admit(target):
             return False
-        self._last_scanned[target] = now
         self.stats.targets_scanned += 1
-        for grab in self.scan_address(target):
-            results.add(grab)
+        pacer = self.scheduler if self.config.drive_clock else None
+        self.executor.execute_into(target, results, pacer)
         return True
 
     def run(self, targets: Iterable[int], label: str = "") -> ScanResults:

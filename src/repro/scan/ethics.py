@@ -14,7 +14,7 @@ Two concrete mechanisms from the paper's ethics setup:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from repro.ipv6 import address as addrmod
 from repro.net.rdns import ReverseDns

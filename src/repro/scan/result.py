@@ -103,7 +103,14 @@ Grab = object  # any of the grab dataclasses above
 
 @dataclass
 class ScanResults:
-    """Accumulated grabs of one scan campaign."""
+    """Accumulated grabs of one scan campaign.
+
+    The eight paper protocols are first-class fields; grabs from
+    additionally registered probe modules (see
+    :class:`repro.runtime.registry.ProbeRegistry`) accumulate in
+    ``extra`` under their ``protocol`` label and flow through every
+    aggregate exactly like the built-in ones.
+    """
 
     label: str = ""
     http: List[HttpGrab] = field(default_factory=list)
@@ -114,25 +121,52 @@ class ScanResults:
     amqp: List[BrokerGrab] = field(default_factory=list)
     amqps: List[BrokerGrab] = field(default_factory=list)
     coap: List[CoapGrab] = field(default_factory=list)
+    #: Grabs of registered non-paper protocols, keyed by label.
+    extra: Dict[str, List[Grab]] = field(default_factory=dict)
     #: Addresses fed to the scanner (denominator of hit rates).
     targets_seen: int = 0
 
+    def protocols(self) -> Tuple[str, ...]:
+        """Every protocol with a bucket here (paper order, extras last)."""
+        return PROTOCOLS + tuple(self.extra)
+
     def grabs(self, protocol: str) -> List[Grab]:
-        if protocol not in PROTOCOLS:
-            raise KeyError(f"unknown protocol {protocol!r}")
-        return getattr(self, protocol)
+        if protocol in PROTOCOLS:
+            return getattr(self, protocol)
+        try:
+            return self.extra[protocol]
+        except KeyError:
+            raise KeyError(f"unknown protocol {protocol!r}") from None
+
+    def bucket(self, protocol: str) -> List[Grab]:
+        """Like :meth:`grabs`, but creates the bucket for new protocols."""
+        if protocol in PROTOCOLS:
+            return getattr(self, protocol)
+        return self.extra.setdefault(protocol, [])
 
     def add(self, grab: Grab) -> None:
-        if isinstance(grab, HttpGrab):
-            self.grabs(grab.protocol).append(grab)
-        elif isinstance(grab, SshGrab):
-            self.ssh.append(grab)
-        elif isinstance(grab, BrokerGrab):
-            self.grabs(grab.protocol).append(grab)
-        elif isinstance(grab, CoapGrab):
-            self.coap.append(grab)
-        else:
+        protocol = getattr(grab, "protocol", None)
+        if not isinstance(protocol, str):
             raise TypeError(f"not a grab: {grab!r}")
+        self.bucket(protocol).append(grab)
+
+    @classmethod
+    def merged(cls, parts: Iterable["ScanResults"],
+               label: str = "") -> "ScanResults":
+        """Deterministically merge per-shard results into one object.
+
+        Buckets extend in ``parts`` order (shard order), preserving each
+        shard's scan order; counters sum.  Totals therefore equal a
+        single-engine run over the union of the shards' targets.
+        """
+        merged = cls(label=label)
+        for part in parts:
+            for protocol in part.protocols():
+                grabs = part.grabs(protocol)
+                if grabs:
+                    merged.bucket(protocol).extend(grabs)
+            merged.targets_seen += part.targets_seen
+        return merged
 
     # -- aggregates (Table 2 columns) -----------------------------------
 
@@ -173,6 +207,6 @@ class ScanResults:
         if self.targets_seen == 0:
             return 0.0
         responsive: set = set()
-        for protocol in PROTOCOLS:
+        for protocol in self.protocols():
             responsive |= self.responsive_addresses(protocol)
         return len(responsive) / self.targets_seen

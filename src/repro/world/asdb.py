@@ -10,7 +10,7 @@ address→AS mapping for counting ASes/overlaps (Table 1) and the
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.ipv6 import address as addr

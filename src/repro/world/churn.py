@@ -22,7 +22,6 @@ import random
 from dataclasses import dataclass, field
 from typing import List, Optional
 
-from repro.ipv6 import address as addrmod
 from repro.net.clock import VirtualClock
 from repro.net.dns import DnsZone
 from repro.net.simnet import Network

@@ -24,13 +24,13 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.ipv6 import address as addrmod
 from repro.ipv6 import eui64
 from repro.net.simnet import Network
 from repro.proto.amqp import AmqpBrokerSession
-from repro.proto.coap import COAP_PORT, CoapResourceServer
+from repro.proto.coap import CoapResourceServer
 from repro.proto.http import HttpServerSession
 from repro.proto.mqtt import MqttBrokerSession
 from repro.proto.ssh import SshIdentification, SshServerSession

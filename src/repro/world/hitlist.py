@@ -22,7 +22,7 @@ The builder reproduces that bias structurally:
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import FrozenSet, List, Optional, Set
 
 from repro.analysis.aliases import filter_aliased

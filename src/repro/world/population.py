@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.ipv6.oui import LOCAL_OUI, UNLISTED_OUI, OuiRegistry, default_registry
 from repro.net.clock import VirtualClock
@@ -32,7 +32,7 @@ from repro.net.dns import DnsZone
 from repro.net.rdns import ReverseDns
 from repro.net.simnet import Network
 from repro.data import ssh_releases
-from repro.tlslib.keys import KeyIdentity, KeyPool, derive_key
+from repro.tlslib.keys import KeyIdentity, KeyPool
 from repro.world import devices as dev
 from repro.world.asdb import AsDatabase, AutonomousSystem, build_asdb
 from repro.world.churn import ChurnModel, Premises

@@ -4,7 +4,7 @@ import random
 
 import pytest
 
-from repro.analysis.aliases import AliasReport, filter_aliased, is_aliased
+from repro.analysis.aliases import filter_aliased, is_aliased
 from repro.ipv6 import parse, prefix
 from repro.proto.http import HttpServerSession
 from repro.proto.tls_session import PlainService

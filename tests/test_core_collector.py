@@ -1,6 +1,5 @@
 """Unit tests for the address collector."""
 
-import pytest
 
 from repro.core.collector import CaptureServer, CollectedDataset
 from repro.ipv6 import parse
@@ -64,7 +63,7 @@ class TestDataset:
 class TestCaptureServer:
     def test_wire_capture(self, network):
         dataset = CollectedDataset()
-        capture = CaptureServer(network, SERVER, "Germany", dataset)
+        CaptureServer(network, SERVER, "Germany", dataset)
         client = NtpClient(network, CLIENT_A)
         assert client.query(SERVER) is not None
         assert CLIENT_A in dataset

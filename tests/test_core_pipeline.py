@@ -42,14 +42,19 @@ class TestPipeline:
         assert "rl" not in comparison.labels
 
     def test_scanner_lives_in_research_space(self, experiment):
-        engine_source = experiment.campaign  # campaign itself has no engine
-        # The scan queue's engine source must be routed + research.
-        source = None
-        for grab in experiment.ntp_scan.http[:1]:
-            pass
-        # Resolve via the world: the pipeline allocates from a research AS.
-        from repro.core.pipeline import _scanner_source
-        source = _scanner_source(experiment.world)
-        system = experiment.world.asdb.lookup(source)
+        from repro.core.pipeline import SCANNER_PTR_NAME
+
+        sources = experiment.world.rdns.addresses_of(SCANNER_PTR_NAME)
+        assert len(sources) == 1
+        system = experiment.world.asdb.lookup(sources[0])
         assert system is not None
         assert system.category == "Educational/Research"
+
+    def test_single_scanner_identity(self, experiment):
+        """Both scan paths share one source; the PTR name is unique."""
+        from repro.core.pipeline import SCANNER_PTR_NAME, _scanner_source
+
+        assert len(experiment.world.rdns.addresses_of(SCANNER_PTR_NAME)) == 1
+        # Allocating a second identity on the same world is rejected.
+        with pytest.raises(RuntimeError, match="already"):
+            _scanner_source(experiment.world)

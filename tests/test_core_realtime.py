@@ -47,6 +47,15 @@ class TestCoupling:
         with pytest.raises(ValueError):
             RealTimeScanQueue(engine, sample_rate=0.0)
 
+    def test_attach_accepts_bus_directly(self, network, engine):
+        from repro.runtime.bus import AddressSighted, EventBus
+
+        bus = EventBus()
+        queue = RealTimeScanQueue(engine).attach(bus)
+        bus.publish(AddressSighted(address=parse("2001:db8::1"), time=0.0,
+                                   server_location="Germany"))
+        assert queue.stats.triggered == 1
+
     def test_scan_results_accumulate(self, network, engine):
         import random
 
@@ -62,3 +71,61 @@ class TestCoupling:
         queue.attach(dataset)
         dataset.record(device.address, 0.0, "Germany")
         assert queue.results.responsive_addresses("http") == {device.address}
+
+
+class TestBackpressure:
+    def test_bounded_intake_drops_and_accounts(self, network, engine):
+        """When sourcing outruns the scanner, drops are explicit."""
+        dataset = CollectedDataset()
+        queue = RealTimeScanQueue(engine, capacity=5, auto_drain=False)
+        queue.attach(dataset)
+        for index in range(8):
+            dataset.record(parse("2001:db8::") + index, 0.0, "Germany")
+        assert queue.pending == 5
+        assert queue.stats.dropped == 3
+        assert queue.stats.received == 8
+        # Dropped targets still count toward the hit-rate denominator.
+        assert queue.results.targets_seen == 3
+        drained = queue.drain()
+        assert drained == 5
+        assert queue.stats.processed == 5
+        assert queue.results.targets_seen == 8
+        assert queue.pending == 0
+
+    def test_drain_limit_batches(self, network, engine):
+        dataset = CollectedDataset()
+        queue = RealTimeScanQueue(engine, capacity=10, auto_drain=False)
+        queue.attach(dataset)
+        for index in range(6):
+            dataset.record(parse("2001:db8::") + index, 0.0, "Germany")
+        assert queue.drain(limit=4) == 4
+        assert queue.pending == 2
+
+    def test_auto_drain_keeps_queue_empty(self, network, engine):
+        dataset = CollectedDataset()
+        queue = RealTimeScanQueue(engine, capacity=2)
+        queue.attach(dataset)
+        for index in range(10):
+            dataset.record(parse("2001:db8::") + index, 0.0, "Germany")
+        assert queue.pending == 0
+        assert queue.stats.dropped == 0
+        assert queue.stats.scanned == 10
+
+
+class TestSamplingDenominators:
+    def test_targets_seen_consistent_across_paths(self, network, engine):
+        """suppressed + dropped + fed all land in targets_seen once."""
+        dataset = CollectedDataset()
+        queue = RealTimeScanQueue(engine, sample_rate=0.5, seed=7,
+                                  capacity=1_000)
+        queue.attach(dataset)
+        total = 200
+        for index in range(total):
+            dataset.record(parse("2001:db8::") + index, 0.0, "Germany")
+        stats = queue.stats
+        assert stats.triggered == total
+        assert queue.results.targets_seen == total
+        assert stats.suppressed + stats.processed + stats.dropped == total
+        # Every non-suppressed target reached the engine exactly once.
+        assert engine.stats.targets_offered == stats.processed
+        assert stats.scanned == engine.stats.targets_scanned

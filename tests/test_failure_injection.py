@@ -2,7 +2,6 @@
 
 import random
 
-import pytest
 
 from repro.core.campaign import CampaignConfig, CollectionCampaign
 from repro.ipv6 import parse

@@ -1,0 +1,78 @@
+"""Golden-value determinism for the sourcing→scan data path.
+
+The staged-runtime refactor (event bus, scheduler/executor split,
+probe registry, sharding) must be behaviour-preserving: under fixed
+seeds, ``run_experiment`` produces *exactly* the responsive-address and
+per-protocol grab counts of the seed implementation.  The numbers below
+were captured from the seed commit (5f12bc1) at this configuration and
+verified identical against the refactored path — both single-engine
+and ``scan_shards=4``.
+"""
+
+import pytest
+
+from repro.core.campaign import CampaignConfig
+from repro.core.pipeline import ExperimentConfig, run_experiment
+from repro.scan.result import PROTOCOLS
+from repro.world.population import WorldConfig
+
+#: protocol → (ntp responsive, ntp grabs, hitlist responsive, hitlist
+#: grabs) at the golden configuration, as produced by the seed commit.
+GOLDEN_COUNTS = {
+    "http": (36, 1160, 192, 4683),
+    "https": (34, 1160, 191, 4683),
+    "ssh": (5, 1160, 40, 4683),
+    "mqtt": (1, 1160, 12, 4683),
+    "mqtts": (0, 1160, 3, 4683),
+    "amqp": (1, 1160, 12, 4683),
+    "amqps": (0, 1160, 3, 4683),
+    "coap": (6, 1160, 7, 4683),
+}
+GOLDEN_NTP_TARGETS = 1160
+GOLDEN_HITLIST_TARGETS = 4683
+
+
+def _golden_config(**overrides) -> ExperimentConfig:
+    defaults = dict(
+        world=WorldConfig(seed=20240720, scale=0.05),
+        campaign=CampaignConfig(days=5, wire_fraction=0.0),
+        include_rl=False, gap_days=1, lead_days=3, final_days=1,
+    )
+    defaults.update(overrides)
+    return ExperimentConfig(**defaults)
+
+
+def _check_counts(result):
+    assert result.ntp_scan.targets_seen == GOLDEN_NTP_TARGETS
+    assert result.hitlist_scan.targets_seen == GOLDEN_HITLIST_TARGETS
+    observed = {
+        protocol: (
+            len(result.ntp_scan.responsive_addresses(protocol)),
+            len(result.ntp_scan.grabs(protocol)),
+            len(result.hitlist_scan.responsive_addresses(protocol)),
+            len(result.hitlist_scan.grabs(protocol)),
+        )
+        for protocol in PROTOCOLS
+    }
+    assert observed == GOLDEN_COUNTS
+
+
+class TestGoldenDeterminism:
+    def test_single_engine_matches_seed_commit(self):
+        _check_counts(run_experiment(_golden_config()))
+
+    def test_sharded_engines_match_single_engine(self):
+        """shards=4 merges to the same totals as the one-engine run."""
+        _check_counts(run_experiment(_golden_config(scan_shards=4)))
+
+    def test_sharded_responsive_sets_identical(self):
+        """Beyond counts: the same addresses respond, per protocol."""
+        single = run_experiment(_golden_config())
+        sharded = run_experiment(_golden_config(scan_shards=4))
+        for protocol in PROTOCOLS:
+            assert (single.hitlist_scan.responsive_addresses(protocol)
+                    == sharded.hitlist_scan.responsive_addresses(protocol))
+            assert (single.ntp_scan.responsive_addresses(protocol)
+                    == sharded.ntp_scan.responsive_addresses(protocol))
+        assert single.hitlist_scan.hit_rate() == \
+            pytest.approx(sharded.hitlist_scan.hit_rate())

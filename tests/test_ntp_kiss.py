@@ -1,12 +1,10 @@
 """Tests for NTP kiss-o'-death rate limiting (RFC 5905 §7.4)."""
 
-import pytest
 
 from repro.ipv6 import parse
 from repro.ntp.client import NtpClient
 from repro.ntp.packet import (
     KISS_DENY,
-    KISS_RATE,
     Mode,
     NtpPacket,
     client_request,

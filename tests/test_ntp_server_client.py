@@ -4,7 +4,7 @@ import pytest
 
 from repro.ipv6 import parse
 from repro.ntp.client import NtpClient
-from repro.ntp.packet import Mode, NtpPacket, client_request
+from repro.ntp.packet import Mode, NtpPacket
 from repro.ntp.server import NTP_PORT, NtpServer
 
 SERVER = parse("2001:db8::123")

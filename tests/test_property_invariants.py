@@ -4,7 +4,6 @@ Each property pins an invariant several modules rely on, checked
 against a brute-force reference implementation where one exists.
 """
 
-import random
 
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -14,7 +14,6 @@ from repro.proto.coap import (
     CoapDecodeError,
     CoapMessage,
     CoapResourceServer,
-    content_response,
     encode_link_format,
     get_request,
     parse_link_format,

@@ -1,6 +1,5 @@
 """Tests for the consolidated study report renderer."""
 
-import pytest
 
 from repro.report.study import (
     render_appendices,

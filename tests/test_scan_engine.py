@@ -84,6 +84,45 @@ class TestCooldown:
         assert engine.stats.targets_scanned == 3
 
 
+class TestCooldownPruning:
+    def test_expired_entries_evicted(self, network, rng):
+        """The last-scanned map stays bounded over a long campaign."""
+        config = EngineConfig(drive_clock=False, prune_every=10)
+        engine = ScanEngine(network, SRC, config)
+        results = ScanResults()
+        prefix = parse("2001:db8:610::")
+        # Feed batches of fresh (dead) addresses, advancing past the
+        # cool-down between batches so earlier entries expire.
+        for batch in range(8):
+            for index in range(10):
+                engine.feed(prefix + (batch << 32) + index, results)
+            network.clock.advance(engine.config.cooldown + 1)
+        # Without pruning the map would hold all 80 entries.
+        assert engine.scheduler.tracked_targets <= 20
+        assert engine.stats.cooldown_pruned >= 60
+        assert engine.stats.targets_scanned == 80
+
+    def test_pruning_never_weakens_cooldown(self, network, fritz):
+        """An address inside its cool-down window survives sweeps."""
+        config = EngineConfig(drive_clock=False, prune_every=5)
+        engine = ScanEngine(network, SRC, config)
+        results = ScanResults()
+        engine.feed(fritz.address, results)
+        # Burn several sweep cycles without advancing time.
+        for index in range(25):
+            engine.feed(parse("2001:db8:611::") + index, results)
+        assert engine.feed(fritz.address, results) is False
+        assert engine.stats.targets_cooled_down == 1
+
+    def test_manual_prune_reports_evictions(self, network, fritz):
+        engine = ScanEngine(network, SRC, EngineConfig(drive_clock=False))
+        engine.feed(fritz.address, ScanResults())
+        assert engine.scheduler.prune() == 0
+        network.clock.advance(engine.config.cooldown + 1)
+        assert engine.scheduler.prune() == 1
+        assert engine.scheduler.tracked_targets == 0
+
+
 class TestRun:
     def test_run_over_target_list(self, network, fritz):
         engine = ScanEngine(network, SRC, EngineConfig(

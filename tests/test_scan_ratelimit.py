@@ -49,6 +49,41 @@ class TestTokenBucket:
         with pytest.raises(ValueError):
             TokenBucket(VirtualClock(), rate=0)
 
+    def test_burst_exhaustion_then_partial_refill(self):
+        """After draining the burst, availability tracks elapsed time."""
+        clock = VirtualClock()
+        bucket = TokenBucket(clock, rate=50, burst=20)
+        assert bucket.try_acquire(20)
+        assert bucket.available == pytest.approx(0.0)
+        assert not bucket.try_acquire(0.5)
+        clock.advance(0.1)  # 5 tokens back
+        assert bucket.available == pytest.approx(5.0)
+        assert bucket.try_acquire(5)
+        assert not bucket.try_acquire(1)
+
+    def test_fractional_packet_costs(self):
+        """Sub-packet costs (per-probe budgets) accumulate exactly."""
+        clock = VirtualClock()
+        bucket = TokenBucket(clock, rate=10, burst=2)
+        for _ in range(8):
+            assert bucket.try_acquire(0.25)
+        assert bucket.available == pytest.approx(0.0)
+        waited = bucket.acquire(0.5)
+        assert waited == pytest.approx(0.05)
+        assert clock.now() == pytest.approx(0.05)
+
+    def test_refill_over_simulated_time_steps(self):
+        """Refill integrates over many small clock steps, not call counts."""
+        clock = VirtualClock()
+        bucket = TokenBucket(clock, rate=100, burst=100)
+        bucket.try_acquire(100)
+        for _ in range(10):
+            clock.advance(0.01)
+            bucket.available  # interleaved reads must not double-count
+        assert bucket.available == pytest.approx(10.0)
+        clock.advance(10)
+        assert bucket.available == pytest.approx(100.0)
+
     def test_sustained_rate(self):
         """Over a long run, throughput converges on the configured rate."""
         clock = VirtualClock()

@@ -24,7 +24,7 @@ from repro.tlslib.handshake import (
     parse_client_hello,
     perform_handshake,
 )
-from repro.tlslib.keys import KeyIdentity, KeyPool, derive_key, unique_fingerprints
+from repro.tlslib.keys import KeyPool, derive_key, unique_fingerprints
 
 
 class TestKeys:

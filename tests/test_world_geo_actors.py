@@ -2,11 +2,11 @@
 
 import pytest
 
-from repro.core.actors import ActorProfile, NtpSourcingActor, research_profile
+from repro.core.actors import NtpSourcingActor, research_profile
 from repro.net.clock import EventScheduler
 from repro.ntp.client import NtpClient
 from repro.ntp.pool import NtpPool
-from repro.world.geo import COUNTRIES, DEPLOYMENT_COUNTRIES, GeoDatabase, default_geo
+from repro.world.geo import COUNTRIES, DEPLOYMENT_COUNTRIES, default_geo
 
 
 class TestGeoDatabase:

@@ -2,10 +2,8 @@
 
 from collections import Counter
 
-import pytest
 
-from repro.world.devices import Device
-from repro.world.population import WorldConfig, build_world
+from repro.world.population import build_world
 from tests.conftest import small_world_config
 
 

@@ -3,14 +3,11 @@
 import random
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.ipv6 import parse, prefix
 from repro.world.tga import (
-    DIRTY_THRESHOLD,
-    EntropyTga,
-    NYBBLES,
     TgaEvaluation,
     _nybble,
     _with_nybble,

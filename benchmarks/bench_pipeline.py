@@ -1,11 +1,18 @@
 """End-to-end pipeline cost: one full (small) study per round."""
 
+import random
 import time
 
 from benchmarks.conftest import write_report
 from repro.core.campaign import CampaignConfig
 from repro.core.pipeline import ExperimentConfig, run_experiment
+from repro.ipv6 import parse
+from repro.net.simnet import Network
+from repro.obs import Histogram, use_registry
 from repro.report import fmt_int, shape_check
+from repro.runtime.sharding import ShardedScanEngine
+from repro.scan.engine import EngineConfig
+from repro.world import devices as dev
 from repro.world.population import WorldConfig
 
 
@@ -16,6 +23,28 @@ def _small_study(shards=1):
         rl_days=3, gap_days=3, lead_days=10, final_days=4,
         scan_shards=shards,
     ))
+
+
+def _metrics_lines(registry, label):
+    """Drop counts and probe-latency quantiles for one shard config.
+
+    Quantiles come from the fixed-bucket ``probe_seconds`` histograms,
+    so each is an upper bound (the bucket boundary the quantile falls
+    in), merged across every engine/shard/protocol series.
+    """
+    dropped = sum(c.value for _, c in registry.find("stage_dropped_total"))
+    cooled = sum(c.value
+                 for _, c in registry.find("scheduler_cooldown_hits_total"))
+    latency = Histogram.merged(
+        [h for _, h in registry.find("probe_seconds")])
+    return (
+        f"  {label}\n"
+        f"    queue drops:          {fmt_int(int(dropped))}\n"
+        f"    cool-down rejections: {fmt_int(int(cooled))}\n"
+        f"    probes observed:      {fmt_int(int(latency.count))}\n"
+        f"    probe latency:        p50 <= {latency.quantile(0.5):g} s, "
+        f"p99 <= {latency.quantile(0.99):g} s\n"
+    )
 
 
 def test_pipeline_end_to_end(benchmark):
@@ -95,7 +124,12 @@ def test_pipeline_sharded_vs_single(benchmark):
         f"  4 shards      (median of {rounds}):  {sharded_median:8.3f} cpu-s\n"
         f"  ratio (sharded/single):      "
         f"{sharded_median / single_median:8.3f}\n"
+        "\n"
+        "Runtime metrics per shard configuration (embedded mode: probes\n"
+        "run synchronously, so latency collapses to the first bucket)\n"
     )
+    text += _metrics_lines(single.metrics, "single engine")
+    text += _metrics_lines(sharded.metrics, "4 shards")
     text += "\n" + shape_check(
         "sharded responsive sets identical to single engine", identical)
     text += "\n" + shape_check(
@@ -103,9 +137,70 @@ def test_pipeline_sharded_vs_single(benchmark):
         sharded_median <= single_median * 1.05)
     write_report("pipeline_sharded_vs_single", text)
 
+    single_latency = Histogram.merged(
+        [h for _, h in single.metrics.find("probe_seconds")])
     benchmark.extra_info.update({
         "single_median_cpu_s": round(single_median, 4),
         "sharded_median_cpu_s": round(sharded_median, 4),
+        "single_drops": int(sum(
+            c.value for _, c in single.metrics.find("stage_dropped_total"))),
+        "sharded_drops": int(sum(
+            c.value for _, c in sharded.metrics.find("stage_dropped_total"))),
+        "single_probe_p99_s": single_latency.quantile(0.99),
     })
     assert identical
     assert sharded.hitlist_scan.targets_seen == single.hitlist_scan.targets_seen
+
+
+def _driving_scan(shards):
+    """One driving-mode scan campaign under a fresh metrics registry.
+
+    Driving mode advances the virtual clock through token-bucket waits
+    and politeness delays, so ``probe_seconds`` records real (simulated)
+    per-probe latency instead of the zeros of embedded mode.  Targets
+    repeat, so the cool-down path is exercised too.
+    """
+    rng = random.Random(1905)
+    network = Network()
+    prefix = parse("2001:db8:600::")
+    for index in range(40):
+        device = dev.make_fritzbox(rng, index, 0x3C3786000000 + index)
+        device.assign_address(prefix, rng)
+        device.materialize(network)
+    targets = [prefix | rng.getrandbits(64) for _ in range(300)]
+    targets += rng.sample(targets, 60)          # duplicates hit cool-down
+    with use_registry() as registry:
+        engine = ShardedScanEngine(
+            network, parse("2001:db8:5c::1"),
+            EngineConfig(packets_per_second=100.0),
+            shards=shards, name="bench")
+        results = engine.run(targets, label=f"driving/{shards}")
+    return registry, results
+
+
+def test_probe_latency_driving_mode(benchmark):
+    """p50/p99 probe latency per shard configuration (driving mode)."""
+    registries = {shards: _driving_scan(shards)[0] for shards in (1, 4)}
+    benchmark.pedantic(_driving_scan, args=(4,), rounds=3, iterations=1)
+
+    text = "Driving-mode probe latency by shard configuration\n"
+    latencies = {}
+    for shards, registry in sorted(registries.items()):
+        latencies[shards] = Histogram.merged(
+            [h for _, h in registry.find("probe_seconds")])
+        text += _metrics_lines(registry, f"{shards} shard(s)")
+    text += "\n" + shape_check(
+        "driving mode records nonzero probe latency",
+        all(latency.sum > 0 for latency in latencies.values()))
+    text += "\n" + shape_check(
+        "cool-down rejections recorded for duplicate targets",
+        all(sum(c.value
+                for _, c in registry.find("scheduler_cooldown_hits_total")) > 0
+            for registry in registries.values()))
+    write_report("pipeline_probe_latency", text)
+
+    benchmark.extra_info.update({
+        f"p99_s_{shards}shards": latencies[shards].quantile(0.99)
+        for shards in latencies
+    })
+    assert all(latency.count > 0 for latency in latencies.values())

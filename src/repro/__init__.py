@@ -8,15 +8,29 @@ analyses, and detection of third-party NTP-sourcing scanners.
 
 Quickstart::
 
-    from repro import run_experiment, ExperimentConfig
+    from repro import api, ExperimentConfig
     from repro.world import WorldConfig
 
-    result = run_experiment(ExperimentConfig(world=WorldConfig(scale=0.2)))
-    print(result.table1())
+    study = api.study(ExperimentConfig(world=WorldConfig(scale=0.2)))
+    print(study.experiment.table1())     # rich result objects
+    print(study.report.as_document())    # config + metrics + tables
+
+``repro.api`` is the typed facade every CLI subcommand wraps;
+``run_experiment`` remains the lower-level pipeline entry point.
 """
 
+from repro import api
 from repro.core.pipeline import ExperimentConfig, ExperimentResult, run_experiment
+from repro.obs import MetricsRegistry, RunReport
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["ExperimentConfig", "ExperimentResult", "run_experiment", "__version__"]
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentResult",
+    "MetricsRegistry",
+    "RunReport",
+    "api",
+    "run_experiment",
+    "__version__",
+]

@@ -1,0 +1,324 @@
+"""Typed library facade over the study's pipelines.
+
+Every CLI subcommand is a thin wrapper over one function here, so
+programs embed the reproduction without re-implementing the command
+handlers: each entry point accepts a config dataclass, runs inside its
+own metrics-registry scope, and returns a result object carrying both
+the rich in-memory artefacts and a versioned
+:class:`~repro.obs.runreport.RunReport` (config + metrics snapshot +
+headline tables) ready for ``repro.io`` serialization or JSON output.
+
+Quickstart::
+
+    from repro import api
+    from repro.core.pipeline import ExperimentConfig
+    from repro.world.population import WorldConfig
+
+    study = api.study(ExperimentConfig(world=WorldConfig(scale=0.1)))
+    print(study.report.tables["hit_rates"])    # headline numbers
+    study.experiment.table1()                  # full result object
+"""
+
+from __future__ import annotations
+
+from collections import Counter as TallyCounter
+from dataclasses import asdict, dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.analysis import devicetypes, security
+from repro.core.actors import NtpSourcingActor, covert_profile, research_profile
+from repro.core.campaign import CampaignConfig, CampaignReport, CollectionCampaign
+from repro.core.detection import ActorDetector, ActorVerdict
+from repro.core.pipeline import ExperimentConfig, ExperimentResult, run_experiment
+from repro.core.telescope import Telescope
+from repro.net.clock import DAY, HOUR, EventScheduler
+from repro.obs import MetricsRegistry, RunReport, use_registry
+from repro.scan.result import PROTOCOLS, ScanResults
+from repro.world.population import World, WorldConfig
+from repro.world.population import build_world as _build_world
+
+
+# -- configs ----------------------------------------------------------------
+
+@dataclass
+class CollectConfig:
+    """Inputs of a standalone collection campaign run."""
+
+    world: WorldConfig = field(default_factory=WorldConfig)
+    campaign: CampaignConfig = field(default_factory=CampaignConfig)
+
+
+@dataclass
+class TelescopeConfig:
+    """Inputs of a Section-5 telescope + actor-detection run."""
+
+    world: WorldConfig = field(default_factory=WorldConfig)
+    #: Daily telescope sweeps over the pool.
+    sweep_days: int = 6
+    #: Extra days for slow (covert) actors to fire their delayed scans.
+    settle_days: int = 4
+    #: Pool zones the overt research actor deploys servers into.
+    research_zones: Tuple[str, ...] = ("us", "de", "jp")
+    #: Pool zones the covert cloud actor deploys servers into.
+    covert_zones: Tuple[str, ...] = ("us", "nl")
+
+    def __post_init__(self) -> None:
+        if self.sweep_days < 1:
+            raise ValueError(
+                f"sweep_days must be >= 1, got {self.sweep_days}")
+        if self.settle_days < 0:
+            raise ValueError(
+                f"settle_days must be >= 0, got {self.settle_days}")
+
+
+@dataclass
+class AnalyzeConfig:
+    """Inputs of an offline re-analysis over saved scan results."""
+
+    ntp_path: str
+    hitlist_path: str
+
+
+# -- results ----------------------------------------------------------------
+
+@dataclass
+class WorldResult:
+    world: World
+    report: RunReport
+
+
+@dataclass
+class CollectResult:
+    campaign: CampaignReport
+    report: RunReport
+
+
+@dataclass
+class StudyResult:
+    experiment: ExperimentResult
+    report: RunReport
+
+
+@dataclass
+class TelescopeResult:
+    telescope: Telescope
+    verdicts: List[ActorVerdict]
+    report: RunReport
+
+
+@dataclass
+class AnalyzeResult:
+    ntp_scan: ScanResults
+    hitlist_scan: ScanResults
+    report: RunReport
+
+
+# -- entry points -----------------------------------------------------------
+
+def build_world(config: Optional[WorldConfig] = None) -> WorldResult:
+    """Generate a world and summarize its composition."""
+    config = config or WorldConfig()
+    with use_registry() as registry:
+        world = _build_world(config)
+    types = TallyCounter(device.type_name for device in world.devices)
+    tables = {
+        "composition": [{"type": name, "count": count}
+                        for name, count in types.most_common()],
+        "summary": {
+            "premises": len(world.premises),
+            "ases": len(world.asdb.systems),
+            "ntp_clients": len(world.ntp_clients()),
+            "scannable": len(world.scannable()),
+            "dns_named": len(world.dns_named()),
+        },
+    }
+    report = RunReport.build("world", asdict(config), registry, tables)
+    return WorldResult(world=world, report=report)
+
+
+def collect(config: Optional[CollectConfig] = None) -> CollectResult:
+    """Run one collection campaign (no scanning)."""
+    config = config or CollectConfig()
+    with use_registry() as registry:
+        world = _build_world(config.world)
+        campaign = CollectionCampaign(world, config.campaign)
+        campaign_report = campaign.run()
+    dataset = campaign_report.dataset
+    tables = {
+        "per_server": [
+            {"location": location, "addresses": count}
+            for location, count in sorted(dataset.per_server_counts().items(),
+                                          key=lambda item: -item[1])
+        ],
+        "totals": {
+            "addresses": len(dataset),
+            "requests": dataset.total_requests,
+            "days_run": campaign_report.days_run,
+            "wire_queries": campaign_report.wire_queries,
+            "fast_queries": campaign_report.fast_queries,
+        },
+    }
+    report = RunReport.build("collect", asdict(config), registry, tables)
+    return CollectResult(campaign=campaign_report, report=report)
+
+
+def study(config: Optional[ExperimentConfig] = None) -> StudyResult:
+    """Run the full study pipeline (collection + both scan paths)."""
+    config = config or ExperimentConfig()
+    result = run_experiment(config)
+    report = RunReport.build("study", asdict(config), result.metrics,
+                             study_tables(result))
+    return StudyResult(experiment=result, report=report)
+
+
+def study_tables(result: ExperimentResult) -> dict:
+    """The headline tables of one experiment, as JSON-shaped rows."""
+    table1 = result.table1()
+    protocols = result.config.protocols or PROTOCOLS
+    ntp_gap, hitlist_gap = security.security_gap(result.ntp_scan,
+                                                 result.hitlist_scan)
+    table3 = devicetypes.build_table3(result.ntp_scan, result.hitlist_scan)
+    findings = devicetypes.new_or_underrepresented(table3)
+    return {
+        "table1": [
+            {"label": s.label, "addresses": s.address_count,
+             "net48s": s.net48_count, "ases": s.as_count,
+             "median_ips_per_48": s.median_ips_per_48,
+             "median_ips_per_as": s.median_ips_per_as}
+            for s in table1.summaries
+        ],
+        "table2": [
+            {"protocol": protocol,
+             "ntp_responsive":
+                 len(result.ntp_scan.responsive_addresses(protocol)),
+             "hitlist_responsive":
+                 len(result.hitlist_scan.responsive_addresses(protocol))}
+            for protocol in protocols
+        ],
+        "hit_rates": {
+            "ntp": result.ntp_scan.hit_rate(),
+            "hitlist": result.hitlist_scan.hit_rate(),
+        },
+        "security": {
+            "ntp": {"secure_share": ntp_gap.secure_share,
+                    "total": ntp_gap.total},
+            "hitlist": {"secure_share": hitlist_gap.secure_share,
+                        "total": hitlist_gap.total},
+        },
+        "device_gap": {
+            "groups": len(findings),
+            "devices": sum(count for count, _ in findings.values()),
+        },
+    }
+
+
+def telescope(config: Optional[TelescopeConfig] = None) -> TelescopeResult:
+    """Deploy third-party actors and run the Section-5 detector.
+
+    This is the actor wiring the CLI used to inline: an overt research
+    actor and a covert cloud actor source addresses from the pool, the
+    telescope sweeps daily, and the detector classifies whoever scanned
+    its baits.
+    """
+    config = config or TelescopeConfig()
+    with use_registry() as registry:
+        world = _build_world(config.world)
+        campaign = CollectionCampaign(
+            world, CampaignConfig(days=1, wire_fraction=0.0))
+        scheduler = EventScheduler(world.clock)
+        research_as = next(s for s in world.asdb.systems
+                           if s.category == "Educational/Research")
+        clouds = [s for s in world.asdb.systems
+                  if s.name.startswith("HyperCloud")]
+        NtpSourcingActor(
+            world, campaign.pool, scheduler, research_profile("GT"),
+            server_base=world.allocate_prefix64(clouds[0].number),
+            scanner_base=world.allocate_prefix64(research_as.number),
+            zones=list(config.research_zones), seed=1)
+        NtpSourcingActor(
+            world, campaign.pool, scheduler, covert_profile("covert"),
+            server_base=world.allocate_prefix64(clouds[1].number),
+            scanner_base=world.allocate_prefix64(clouds[2].number),
+            zones=list(config.covert_zones), seed=2)
+        scope = Telescope(world.network)
+        for _ in range(config.sweep_days):
+            scope.sweep(campaign.pool)
+            scheduler.run_until(world.clock.now() + DAY)
+        scheduler.run_until(world.clock.now() + config.settle_days * DAY)
+
+        detector = ActorDetector(
+            scope, world.asdb,
+            operator_of_server=lambda a: campaign.pool.server(a).operator)
+        verdicts = detector.report()
+
+    tables = {
+        "actors": [
+            {"actor": verdict.observation.cluster,
+             "verdict": verdict.kind,
+             "servers": len(verdict.observation.triggering_servers),
+             "ports": len(verdict.observation.ports),
+             "median_delay_hours": verdict.observation.median_delay / HOUR,
+             "sensitive_share": verdict.observation.sensitive_share}
+            for verdict in verdicts
+        ],
+        "telescope": {
+            "baits": len(scope.baits),
+            "match_rate": scope.match_rate(),
+        },
+    }
+    report = RunReport.build("telescope", asdict(config), registry, tables)
+    return TelescopeResult(telescope=scope, verdicts=verdicts, report=report)
+
+
+def analyze(config: AnalyzeConfig) -> AnalyzeResult:
+    """Re-run the analyses over previously saved scan results."""
+    from repro.io import load_results
+
+    with use_registry() as registry:
+        ntp_scan = load_results(config.ntp_path)
+        hitlist_scan = load_results(config.hitlist_path)
+        registry.counter("analyze_targets_total", source="ntp").inc(
+            ntp_scan.targets_seen)
+        registry.counter("analyze_targets_total", source="hitlist").inc(
+            hitlist_scan.targets_seen)
+
+    table3 = devicetypes.build_table3(ntp_scan, hitlist_scan)
+    hit_by_group = {g.representative: g.count for g in table3.http_hitlist}
+    ntp_gap, hitlist_gap = security.security_gap(ntp_scan, hitlist_scan)
+    tables = {
+        "device_types": [
+            {"group": group.representative, "ntp_certs": group.count,
+             "hitlist_certs": hit_by_group.get(group.representative, 0)}
+            for group in table3.http_ntp[:8]
+        ],
+        "security": {
+            "ntp": {"secure_share": ntp_gap.secure_share,
+                    "total": ntp_gap.total},
+            "hitlist": {"secure_share": hitlist_gap.secure_share,
+                        "total": hitlist_gap.total},
+        },
+    }
+    report = RunReport.build("analyze", asdict(config), registry, tables)
+    return AnalyzeResult(ntp_scan=ntp_scan, hitlist_scan=hitlist_scan,
+                         report=report)
+
+
+__all__ = [
+    "AnalyzeConfig",
+    "AnalyzeResult",
+    "CollectConfig",
+    "CollectResult",
+    "ExperimentConfig",
+    "MetricsRegistry",
+    "RunReport",
+    "StudyResult",
+    "TelescopeConfig",
+    "TelescopeResult",
+    "WorldResult",
+    "analyze",
+    "build_world",
+    "collect",
+    "study",
+    "study_tables",
+    "telescope",
+]

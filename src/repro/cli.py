@@ -9,25 +9,26 @@ Subcommands
 ``analyze``     re-run the analyses over saved JSONL scan results
 
 All commands are deterministic in ``--seed`` and scale with ``--scale``.
+Every subcommand is a thin wrapper over :mod:`repro.api` and accepts
+``--format {table,json}``: table mode renders the human tables below,
+json mode emits the run's :class:`~repro.obs.runreport.RunReport` as one
+stable document (``{"command", "version", "config", "metrics",
+"tables"}``) through the ``repro.io`` serializer.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from collections import Counter
 from typing import Optional, Sequence
 
-from repro.analysis import devicetypes, security
-from repro.core.actors import NtpSourcingActor, covert_profile, research_profile
-from repro.core.campaign import CampaignConfig, CollectionCampaign
-from repro.core.detection import ActorDetector
-from repro.core.pipeline import ExperimentConfig, run_experiment
-from repro.core.telescope import Telescope
-from repro.net.clock import DAY, HOUR, EventScheduler
+from repro import api
+from repro.core.campaign import CampaignConfig
+from repro.core.pipeline import ExperimentConfig
+from repro.io import document_to_json
+from repro.net.clock import HOUR
 from repro.report import fmt_int, fmt_pct, fmt_permille, render_table
-from repro.scan.result import PROTOCOLS
-from repro.world.population import WorldConfig, build_world
+from repro.world.population import WorldConfig
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -37,104 +38,86 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="world seed (default 20240720)")
 
 
+def _add_format(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--format", choices=("table", "json"),
+                        default="table", dest="format",
+                        help="output format: human tables or the "
+                             "RunReport JSON document (default table)")
+
+
+def _emit_json(report) -> int:
+    print(document_to_json(report.as_document()))
+    return 0
+
+
+def _world_config(args: argparse.Namespace) -> WorldConfig:
+    return WorldConfig(seed=args.seed, scale=args.scale)
+
+
 def cmd_world(args: argparse.Namespace) -> int:
-    world = build_world(WorldConfig(seed=args.seed, scale=args.scale))
-    types = Counter(device.type_name for device in world.devices)
+    result = api.build_world(_world_config(args))
+    if args.format == "json":
+        return _emit_json(result.report)
+    tables = result.report.tables
     print(render_table(
         ["device type", "count"],
-        [[name, fmt_int(count)] for name, count in types.most_common()],
+        [[row["type"], fmt_int(row["count"])]
+         for row in tables["composition"]],
         title=f"World composition (scale {args.scale}, seed {args.seed})"))
-    print(f"\npremises: {fmt_int(len(world.premises))}, "
-          f"ASes: {len(world.asdb.systems)}, "
-          f"NTP clients: {fmt_int(len(world.ntp_clients()))}, "
-          f"scannable: {fmt_int(len(world.scannable()))}, "
-          f"DNS-named: {fmt_int(len(world.dns_named()))}")
+    summary = tables["summary"]
+    print(f"\npremises: {fmt_int(summary['premises'])}, "
+          f"ASes: {summary['ases']}, "
+          f"NTP clients: {fmt_int(summary['ntp_clients'])}, "
+          f"scannable: {fmt_int(summary['scannable'])}, "
+          f"DNS-named: {fmt_int(summary['dns_named'])}")
     return 0
 
 
 def cmd_collect(args: argparse.Namespace) -> int:
-    world = build_world(WorldConfig(seed=args.seed, scale=args.scale))
-    campaign = CollectionCampaign(
-        world, CampaignConfig(days=args.days, wire_fraction=args.wire))
-    report = campaign.run()
-    rows = sorted(report.dataset.per_server_counts().items(),
-                  key=lambda item: -item[1])
-    print(render_table(
-        ["location", "#addresses"],
-        [[loc, fmt_int(count)] for loc, count in rows],
-        title=f"Collected {fmt_int(len(report.dataset))} addresses over "
-              f"{args.days} days ({fmt_int(report.dataset.total_requests)} "
-              "requests)"))
+    result = api.collect(api.CollectConfig(
+        world=_world_config(args),
+        campaign=CampaignConfig(days=args.days, wire_fraction=args.wire),
+    ))
+    written = 0
     if args.out:
         from repro.io import save_dataset
 
-        records = save_dataset(report.dataset, args.out)
-        print(f"\nwrote {fmt_int(records)} records to {args.out}")
+        written = save_dataset(result.campaign.dataset, args.out)
+    if args.format == "json":
+        return _emit_json(result.report)
+    totals = result.report.tables["totals"]
+    print(render_table(
+        ["location", "#addresses"],
+        [[row["location"], fmt_int(row["addresses"])]
+         for row in result.report.tables["per_server"]],
+        title=f"Collected {fmt_int(totals['addresses'])} addresses over "
+              f"{args.days} days ({fmt_int(totals['requests'])} "
+              "requests)"))
+    if args.out:
+        print(f"\nwrote {fmt_int(written)} records to {args.out}")
     return 0
 
 
 def cmd_study(args: argparse.Namespace) -> int:
     protocols = tuple(args.protocols.split(",")) if args.protocols else None
-    if protocols:
-        unknown = [name for name in protocols if name not in PROTOCOLS]
-        if unknown:
-            print(f"error: unknown protocol(s) {', '.join(sorted(unknown))}; "
-                  f"choose from {', '.join(PROTOCOLS)}", file=sys.stderr)
-            return 2
-    if args.shards < 1:
-        print("error: --shards must be >= 1", file=sys.stderr)
+    try:
+        config = ExperimentConfig(
+            world=_world_config(args),
+            campaign=CampaignConfig(wire_fraction=args.wire),
+            include_rl=not args.no_rl,
+            scan_shards=args.shards,
+            protocols=protocols,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
         return 2
-    result = run_experiment(ExperimentConfig(
-        world=WorldConfig(seed=args.seed, scale=args.scale),
-        campaign=CampaignConfig(wire_fraction=args.wire),
-        include_rl=not args.no_rl,
-        scan_shards=args.shards,
-        protocols=protocols,
-    ))
-
-    if args.full_report:
-        from repro.report.study import render_full_report
-
-        print(render_full_report(result))
-        return 0
-
-    table = result.table1()
-    print(render_table(
-        ["dataset", "addresses", "/48s", "ASes", "med IPs//48",
-         "med IPs/AS"],
-        [[s.label, fmt_int(s.address_count), fmt_int(s.net48_count),
-          fmt_int(s.as_count), f"{s.median_ips_per_48:.1f}",
-          f"{s.median_ips_per_as:.1f}"] for s in table.summaries],
-        title="Table 1 - datasets"))
-
-    rows = []
-    for protocol in (protocols or PROTOCOLS):
-        rows.append([
-            protocol,
-            fmt_int(len(result.ntp_scan.responsive_addresses(protocol))),
-            fmt_int(len(result.hitlist_scan.responsive_addresses(protocol))),
-        ])
-    print("\n" + render_table(["protocol", "NTP #addrs", "hitlist #addrs"],
-                              rows, title="Table 2 - scans"))
-    print(f"\nhit rates: NTP {fmt_permille(result.ntp_scan.hit_rate())} "
-          f"vs hitlist {fmt_permille(result.hitlist_scan.hit_rate())}")
-
-    ntp, hitlist = security.security_gap(result.ntp_scan,
-                                         result.hitlist_scan)
-    print(f"secure share: NTP {fmt_pct(ntp.secure_share)} of "
-          f"{fmt_int(ntp.total)} vs hitlist {fmt_pct(hitlist.secure_share)} "
-          f"of {fmt_int(hitlist.total)} (paper: 28.4 % vs 43.5 %)")
-
-    table3 = devicetypes.build_table3(result.ntp_scan, result.hitlist_scan)
-    findings = devicetypes.new_or_underrepresented(table3)
-    print(f"device groups missed/underrepresented by the hitlist: "
-          f"{len(findings)} "
-          f"({fmt_int(sum(n for n, _ in findings.values()))} devices)")
+    study = api.study(config)
+    result = study.experiment
 
     if args.out_dir:
         import os
 
-        from repro.io import save_dataset, save_results
+        from repro.io import save_dataset, save_results, save_run_report
 
         os.makedirs(args.out_dir, exist_ok=True)
         save_dataset(result.ntp_dataset,
@@ -143,75 +126,92 @@ def cmd_study(args: argparse.Namespace) -> int:
                      os.path.join(args.out_dir, "ntp_scan.jsonl"))
         save_results(result.hitlist_scan,
                      os.path.join(args.out_dir, "hitlist_scan.jsonl"))
+        save_run_report(study.report,
+                        os.path.join(args.out_dir, "run_report.jsonl"))
+
+    if args.format == "json":
+        return _emit_json(study.report)
+
+    if args.full_report:
+        from repro.report.study import render_full_report
+
+        print(render_full_report(result))
+        return 0
+
+    tables = study.report.tables
+    print(render_table(
+        ["dataset", "addresses", "/48s", "ASes", "med IPs//48",
+         "med IPs/AS"],
+        [[s["label"], fmt_int(s["addresses"]), fmt_int(s["net48s"]),
+          fmt_int(s["ases"]), f"{s['median_ips_per_48']:.1f}",
+          f"{s['median_ips_per_as']:.1f}"] for s in tables["table1"]],
+        title="Table 1 - datasets"))
+
+    print("\n" + render_table(
+        ["protocol", "NTP #addrs", "hitlist #addrs"],
+        [[row["protocol"], fmt_int(row["ntp_responsive"]),
+          fmt_int(row["hitlist_responsive"])] for row in tables["table2"]],
+        title="Table 2 - scans"))
+    rates = tables["hit_rates"]
+    print(f"\nhit rates: NTP {fmt_permille(rates['ntp'])} "
+          f"vs hitlist {fmt_permille(rates['hitlist'])}")
+
+    gap = tables["security"]
+    print(f"secure share: NTP {fmt_pct(gap['ntp']['secure_share'])} of "
+          f"{fmt_int(gap['ntp']['total'])} vs hitlist "
+          f"{fmt_pct(gap['hitlist']['secure_share'])} "
+          f"of {fmt_int(gap['hitlist']['total'])} (paper: 28.4 % vs 43.5 %)")
+
+    device_gap = tables["device_gap"]
+    print(f"device groups missed/underrepresented by the hitlist: "
+          f"{device_gap['groups']} "
+          f"({fmt_int(device_gap['devices'])} devices)")
+
+    if args.out_dir:
         print(f"artefacts written to {args.out_dir}/")
     return 0
 
 
 def cmd_analyze(args: argparse.Namespace) -> int:
     """Re-run the analyses over previously saved scan results."""
-    from repro.io import load_results
-
-    ntp_scan = load_results(args.ntp)
-    hitlist_scan = load_results(args.hitlist)
-
-    table3 = devicetypes.build_table3(ntp_scan, hitlist_scan)
-    rows = []
-    hit_by_group = {g.representative: g.count for g in table3.http_hitlist}
-    for group in table3.http_ntp[:8]:
-        rows.append([group.representative[:44], fmt_int(group.count),
-                     fmt_int(hit_by_group.get(group.representative, 0))])
+    result = api.analyze(api.AnalyzeConfig(ntp_path=args.ntp,
+                                           hitlist_path=args.hitlist))
+    if args.format == "json":
+        return _emit_json(result.report)
+    tables = result.report.tables
     print(render_table(
-        ["HTML title group", "NTP #certs", "hitlist #certs"], rows,
+        ["HTML title group", "NTP #certs", "hitlist #certs"],
+        [[row["group"][:44], fmt_int(row["ntp_certs"]),
+          fmt_int(row["hitlist_certs"])] for row in tables["device_types"]],
         title="Device types (from saved results)"))
 
-    ntp, hitlist = security.security_gap(ntp_scan, hitlist_scan)
-    print(f"\nsecure share: NTP {fmt_pct(ntp.secure_share)} of "
-          f"{fmt_int(ntp.total)} vs hitlist "
-          f"{fmt_pct(hitlist.secure_share)} of {fmt_int(hitlist.total)}")
+    gap = tables["security"]
+    print(f"\nsecure share: NTP {fmt_pct(gap['ntp']['secure_share'])} of "
+          f"{fmt_int(gap['ntp']['total'])} vs hitlist "
+          f"{fmt_pct(gap['hitlist']['secure_share'])} of "
+          f"{fmt_int(gap['hitlist']['total'])}")
     return 0
 
 
 def cmd_telescope(args: argparse.Namespace) -> int:
-    world = build_world(WorldConfig(seed=args.seed, scale=args.scale))
-    campaign = CollectionCampaign(world, CampaignConfig(days=1,
-                                                        wire_fraction=0.0))
-    scheduler = EventScheduler(world.clock)
-    research_as = next(s for s in world.asdb.systems
-                       if s.category == "Educational/Research")
-    clouds = [s for s in world.asdb.systems
-              if s.name.startswith("HyperCloud")]
-    NtpSourcingActor(
-        world, campaign.pool, scheduler, research_profile("GT"),
-        server_base=world.allocate_prefix64(clouds[0].number),
-        scanner_base=world.allocate_prefix64(research_as.number),
-        zones=["us", "de", "jp"], seed=1)
-    NtpSourcingActor(
-        world, campaign.pool, scheduler, covert_profile("covert"),
-        server_base=world.allocate_prefix64(clouds[1].number),
-        scanner_base=world.allocate_prefix64(clouds[2].number),
-        zones=["us", "nl"], seed=2)
-    telescope = Telescope(world.network)
-    for _ in range(args.days):
-        telescope.sweep(campaign.pool)
-        scheduler.run_until(world.clock.now() + DAY)
-    scheduler.run_until(world.clock.now() + 4 * DAY)
-
-    detector = ActorDetector(
-        telescope, world.asdb,
-        operator_of_server=lambda a: campaign.pool.server(a).operator)
+    result = api.telescope(api.TelescopeConfig(
+        world=_world_config(args), sweep_days=args.days))
+    if args.format == "json":
+        return _emit_json(result.report)
     rows = []
-    for verdict in detector.report():
+    for verdict in result.verdicts:
         o = verdict.observation
         rows.append([o.cluster[:32], verdict.kind,
                      len(o.triggering_servers), len(o.ports),
                      f"{o.median_delay / HOUR:.1f} h",
                      fmt_pct(o.sensitive_share, 0)])
+    summary = result.report.tables["telescope"]
     print(render_table(
         ["actor", "verdict", "servers", "ports", "median delay",
          "sensitive ports"],
         rows,
-        title=f"Actors detected ({len(telescope.baits)} baits, "
-              f"match rate {fmt_pct(telescope.match_rate())})"))
+        title=f"Actors detected ({summary['baits']} baits, "
+              f"match rate {fmt_pct(summary['match_rate'])})"))
     return 0
 
 
@@ -224,10 +224,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     world = sub.add_parser("world", help="print world composition")
     _add_common(world)
+    _add_format(world)
     world.set_defaults(func=cmd_world)
 
     collect = sub.add_parser("collect", help="run the collection campaign")
     _add_common(collect)
+    _add_format(collect)
     collect.add_argument("--days", type=int, default=7)
     collect.add_argument("--wire", type=float, default=0.02,
                          help="fraction of devices on the full wire path")
@@ -236,6 +238,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     study = sub.add_parser("study", help="run the full study pipeline")
     _add_common(study)
+    _add_format(study)
     study.add_argument("--wire", type=float, default=0.02)
     study.add_argument("--no-rl", action="store_true",
                        help="skip the R&L-style pre-campaign")
@@ -245,13 +248,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="comma-separated probe profile, e.g. ssh,coap "
                             "(default: all eight paper protocols)")
     study.add_argument("--out-dir",
-                       help="save dataset + scan results as JSONL")
+                       help="save dataset + scan results + run report "
+                            "as JSONL")
     study.add_argument("--full-report", action="store_true",
                        help="print every paper table/figure")
     study.set_defaults(func=cmd_study)
 
     analyze = sub.add_parser(
         "analyze", help="re-run analyses over saved scan results")
+    _add_format(analyze)
     analyze.add_argument("--ntp", required=True,
                          help="JSONL file from `study --out-dir`")
     analyze.add_argument("--hitlist", required=True,
@@ -261,6 +266,7 @@ def build_parser() -> argparse.ArgumentParser:
     telescope = sub.add_parser("telescope",
                                help="detect NTP-sourcing scanners")
     _add_common(telescope)
+    _add_format(telescope)
     telescope.add_argument("--days", type=int, default=6,
                            help="telescope sweep days")
     telescope.set_defaults(func=cmd_telescope)

@@ -27,6 +27,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.core.collector import CaptureServer, CollectedDataset
 from repro.core.realtime import RealTimeScanQueue
+from repro.obs.metrics import COUNT_BUCKETS, current_registry
 from repro.ipv6 import address as addrmod
 from repro.net.clock import DAY
 from repro.ntp.client import NtpClient
@@ -97,6 +98,9 @@ class CollectionCampaign:
         self._deploy()
         self.wire_queries = 0
         self.fast_queries = 0
+        self._metrics = current_registry()
+        self._m_days = self._metrics.counter("campaign_days_total",
+                                             campaign=self.config.label)
 
     # -- deployment -------------------------------------------------------
 
@@ -177,9 +181,31 @@ class CollectionCampaign:
                 self.world.churn.step_day()
             if self.config.monitor_daily:
                 self.pool.run_monitor()
+            before = {location: len(addresses) for location, addresses
+                      in self.dataset.per_server.items()}
             self._run_day(day_start, self._clients, self._wire_devices)
             self.world.clock.advance_to(day_start + DAY)
             self._days_run += 1
+            self._record_day_metrics(before)
+
+    def _record_day_metrics(self, before: Dict[str, int]) -> None:
+        """Per-server, per-simulated-day sourcing volume (Table 7's axis)."""
+        self._m_days.inc()
+        label = self.config.label
+        day_total = 0
+        for location, addresses in self.dataset.per_server.items():
+            new_addresses = len(addresses) - before.get(location, 0)
+            day_total += new_addresses
+            self._metrics.counter("campaign_addresses_total",
+                                  campaign=label, server=location,
+                                  ).inc(new_addresses)
+            self._metrics.histogram("campaign_server_day_addresses",
+                                    buckets=COUNT_BUCKETS,
+                                    campaign=label, server=location,
+                                    ).observe(new_addresses)
+        self._metrics.histogram("campaign_day_addresses",
+                                buckets=COUNT_BUCKETS, campaign=label,
+                                ).observe(day_total)
 
     # -- operator weight tuning (paper Section 3.1) --------------------------
 

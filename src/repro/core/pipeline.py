@@ -31,10 +31,11 @@ from repro.core.campaign import CampaignConfig, CollectionCampaign, rl_2022_conf
 from repro.core.collector import CollectedDataset
 from repro.core.comparison import ComparisonTable, DatasetComparison
 from repro.core.realtime import RealTimeScanQueue
+from repro.obs.metrics import MetricsRegistry, use_registry
 from repro.runtime.registry import ProbeRegistry, default_registry
 from repro.runtime.sharding import ShardedScanEngine
 from repro.scan.engine import EngineConfig, ScanEngine
-from repro.scan.result import ScanResults
+from repro.scan.result import PROTOCOLS, ScanResults
 from repro.world.hitlist import Hitlist, HitlistConfig, build_hitlist
 from repro.world.population import World, WorldConfig, build_world
 
@@ -62,6 +63,24 @@ class ExperimentConfig:
     #: the paper's full eight-protocol registry).
     protocols: Optional[Tuple[str, ...]] = None
 
+    def __post_init__(self) -> None:
+        # Validation lives on the config (not the CLI handler) so the
+        # api facade and direct library construction share it.
+        if self.scan_shards < 1:
+            raise ValueError(
+                f"scan_shards must be >= 1, got {self.scan_shards}")
+        if self.protocols is not None:
+            if not self.protocols:
+                raise ValueError(
+                    "protocols must name at least one protocol (or be None "
+                    "for the full registry)")
+            unknown = [name for name in self.protocols
+                       if name not in PROTOCOLS]
+            if unknown:
+                raise ValueError(
+                    f"unknown protocol(s) {', '.join(sorted(unknown))}; "
+                    f"choose from {', '.join(PROTOCOLS)}")
+
 
 @dataclass
 class ExperimentResult:
@@ -75,6 +94,8 @@ class ExperimentResult:
     rl_dataset: Optional[CollectedDataset]
     campaign: CollectionCampaign
     config: ExperimentConfig
+    #: The run's metrics registry (every stage/scheduler/probe series).
+    metrics: Optional[MetricsRegistry] = None
 
     def comparison(self) -> DatasetComparison:
         """The Table 1 comparator over every dataset in this run."""
@@ -119,17 +140,32 @@ def _scanner_source(world: World) -> int:
 
 
 def _build_engine(world: World, source: int, config: EngineConfig,
-                  registry: ProbeRegistry, shards: int):
+                  registry: ProbeRegistry, shards: int, name: str):
     """One scan engine — sharded when the experiment asks for it."""
     if shards > 1:
         return ShardedScanEngine(world.network, source, config,
-                                 registry=registry, shards=shards)
-    return ScanEngine(world.network, source, config, registry=registry)
+                                 registry=registry, shards=shards, name=name)
+    return ScanEngine(world.network, source, config, registry=registry,
+                      name=name)
 
 
-def run_experiment(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
-    """Run the complete study; deterministic in ``config``."""
+def run_experiment(config: Optional[ExperimentConfig] = None,
+                   metrics: Optional[MetricsRegistry] = None) -> ExperimentResult:
+    """Run the complete study; deterministic in ``config``.
+
+    Every run records into its own :class:`MetricsRegistry` (or the one
+    passed as ``metrics``), returned on ``result.metrics`` — identical
+    snapshots for identical configs, so runs can be diffed.
+    """
     config = config or ExperimentConfig()
+    registry = metrics if metrics is not None else MetricsRegistry()
+    with use_registry(registry):
+        result = _run_experiment(config)
+    result.metrics = registry
+    return result
+
+
+def _run_experiment(config: ExperimentConfig) -> ExperimentResult:
     world = build_world(config.world)
 
     rl_dataset: Optional[CollectedDataset] = None
@@ -155,7 +191,7 @@ def run_experiment(config: Optional[ExperimentConfig] = None) -> ExperimentResul
     engine = _build_engine(
         world, scanner_source,
         EngineConfig(drive_clock=False, seed=config.scan_seed),
-        registry, config.scan_shards,
+        registry, config.scan_shards, name="ntp",
     )
     queue = RealTimeScanQueue(engine)
     campaign = CollectionCampaign(world, config.campaign, scan_queue=queue)
@@ -168,7 +204,7 @@ def run_experiment(config: Optional[ExperimentConfig] = None) -> ExperimentResul
     hitlist_engine = _build_engine(
         world, scanner_source,
         EngineConfig(drive_clock=False, seed=config.scan_seed ^ 0xFF),
-        registry, config.scan_shards,
+        registry, config.scan_shards, name="hitlist",
     )
     hitlist_scan = hitlist_engine.run(sorted(hitlist.full), label="hitlist")
 

@@ -83,7 +83,7 @@ class RealTimeScanQueue(Stage):
     # -- intake -----------------------------------------------------------
 
     def _on_sighting(self, event: AddressSighted) -> None:
-        self.stats.received += 1
+        self.mark_received()
         self.stats.triggered += 1
         if self.sample_rate < 1.0 and self._rng.random() > self.sample_rate:
             self.stats.suppressed += 1
@@ -93,9 +93,10 @@ class RealTimeScanQueue(Stage):
         if not self.queue.push(event):
             # Intake full: the scanner cannot keep up.  Account the drop
             # and keep the denominator consistent with the other paths.
-            self.stats.dropped += 1
+            self.mark_dropped()
             self.results.targets_seen += 1
             return
+        self.note_queue_depth(len(self.queue))
         if self.auto_drain:
             self.drain()
 
@@ -104,7 +105,7 @@ class RealTimeScanQueue(Stage):
         drained = 0
         for event in self.queue.drain(limit):
             drained += 1
-            self.stats.processed += 1
+            self.mark_processed()
             if self.engine.feed(event.address, self.results):
                 self.stats.scanned += 1
         return drained

@@ -1,19 +1,25 @@
-"""Persistence: JSONL formats for datasets and scan results."""
+"""Persistence: JSONL formats for datasets, scan results, run reports."""
 
 from repro.io.jsonl import (
     FORMAT_VERSION,
     FormatError,
+    document_to_json,
     load_dataset,
     load_results,
+    load_run_report,
     save_dataset,
     save_results,
+    save_run_report,
 )
 
 __all__ = [
     "FORMAT_VERSION",
     "FormatError",
+    "document_to_json",
     "load_dataset",
     "load_results",
+    "load_run_report",
     "save_dataset",
     "save_results",
+    "save_run_report",
 ]

@@ -18,6 +18,7 @@ from typing import Dict, Iterable, Iterator, Optional, Union
 
 from repro.core.collector import AddressObservation, CollectedDataset
 from repro.ipv6 import address as addrmod
+from repro.obs.runreport import RunReport
 from repro.scan.result import (
     BrokerGrab,
     CoapGrab,
@@ -226,6 +227,77 @@ def save_results(results: ScanResults, path: PathLike) -> int:
                 yield _grab_to_json(grab)
 
     return _write_lines(path, records())
+
+
+def document_to_json(document: Dict) -> str:
+    """Serialize one JSON document with this module's conventions.
+
+    The CLI's ``--format json`` output goes through here so command
+    output and persisted files share one serializer (sorted keys,
+    unescaped unicode).
+    """
+    return json.dumps(document, ensure_ascii=False, sort_keys=True,
+                      indent=2)
+
+
+# -- run reports ------------------------------------------------------------
+
+def save_run_report(report: RunReport, path: PathLike) -> int:
+    """Write a run report as line-diffable JSONL; returns record count.
+
+    One record per metric series and per table, so ``diff`` between two
+    report files shows exactly which series moved.
+    """
+
+    def records() -> Iterator[Dict]:
+        yield _header("run-report", report.command)
+        yield {"type": "meta", "command": report.command,
+               "report_version": report.version}
+        yield {"type": "config", "config": report.config}
+        for kind in ("counters", "gauges", "histograms"):
+            for entry in report.metrics.get(kind, ()):
+                yield {"type": "metric", "kind": kind, **entry}
+        for name in sorted(report.tables):
+            yield {"type": "table", "name": name,
+                   "data": report.tables[name]}
+
+    return _write_lines(path, records())
+
+
+def load_run_report(path: PathLike) -> RunReport:
+    """Read a report written by :func:`save_run_report`."""
+    records = _read_lines(path)
+    try:
+        _check_header(next(records), "run-report")
+    except StopIteration as exc:
+        raise FormatError(f"{path}: empty file") from exc
+    command, version = "", None
+    config: Dict = {}
+    metrics: Dict[str, list] = {"counters": [], "gauges": [],
+                                "histograms": []}
+    tables: Dict = {}
+    for record in records:
+        kind = record.get("type")
+        if kind == "meta":
+            command = record.get("command", "")
+            version = record.get("report_version")
+        elif kind == "config":
+            config = record.get("config", {})
+        elif kind == "metric":
+            series_kind = record.get("kind")
+            if series_kind not in metrics:
+                raise FormatError(f"unknown metric kind {series_kind!r}")
+            entry = {key: value for key, value in record.items()
+                     if key not in ("type", "kind")}
+            metrics[series_kind].append(entry)
+        elif kind == "table":
+            tables[record["name"]] = record.get("data")
+        else:
+            raise FormatError(f"unknown record type {kind!r}")
+    return RunReport.from_document({
+        "command": command, "version": version, "config": config,
+        "metrics": metrics, "tables": tables,
+    })
 
 
 def load_results(path: PathLike) -> ScanResults:

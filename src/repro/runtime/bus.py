@@ -20,6 +20,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Type
 
+from repro.obs.metrics import Counter, current_registry
+
 
 @dataclass(frozen=True)
 class Event:
@@ -73,6 +75,10 @@ class EventBus:
     def __init__(self) -> None:
         self._subscribers: Dict[Type[Event], List[Handler]] = {}
         self.stats = BusStats()
+        self._metrics = current_registry()
+        #: Per-event-type publish counters, cached so the hot publish
+        #: path pays one dict lookup, not a registry get-or-create.
+        self._type_counters: Dict[Type[Event], Counter] = {}
 
     def subscribe(self, event_type: Type[Event],
                   handler: Handler) -> Callable[[], None]:
@@ -91,6 +97,13 @@ class EventBus:
     def publish(self, event: Event) -> int:
         """Deliver ``event`` to its type's subscribers; returns the count."""
         self.stats.published += 1
+        event_type = type(event)
+        counter = self._type_counters.get(event_type)
+        if counter is None:
+            counter = self._metrics.counter("bus_events_total",
+                                            event=event_type.__name__)
+            self._type_counters[event_type] = counter
+        counter.inc()
         handlers = self._subscribers.get(type(event))
         if not handlers:
             self.stats.unheard += 1

@@ -52,7 +52,7 @@ class ShardedScanEngine:
                  config: Optional[EngineConfig] = None,
                  ethics: Optional[EthicsPolicy] = None,
                  registry: Optional[ProbeRegistry] = None,
-                 *, shards: int = 4) -> None:
+                 *, shards: int = 4, name: str = "engine") -> None:
         if shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
         self.network = network
@@ -60,13 +60,16 @@ class ShardedScanEngine:
         self.config = config or EngineConfig()
         self.ethics = ethics
         self.shards = shards
+        self.name = name
         #: Shard engines share config, ethics and registry; their seeds
         #: only feed politeness jitter (driving mode), so embedded-mode
-        #: results are identical to a single engine's regardless.
+        #: results are identical to a single engine's regardless.  Each
+        #: shard carries its own metric label, so the registry exposes
+        #: the per-shard load balance directly.
         self.engines: List[ScanEngine] = [
             ScanEngine(network, source,
                        replace(self.config, seed=self.config.seed ^ index),
-                       ethics, registry)
+                       ethics, registry, name=f"{name}/shard{index}")
             for index in range(shards)
         ]
         self.registry = self.engines[0].registry

@@ -15,6 +15,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Generic, Iterator, Mapping, Type, TypeVar
 
+from repro.obs.metrics import current_registry
 from repro.runtime.bus import Event, EventBus, Handler
 
 T = TypeVar("T")
@@ -79,6 +80,33 @@ class Stage:
     def __init__(self) -> None:
         self.stats = StageStats()
         self._unsubscribers = []
+        metrics = current_registry()
+        self._m_received = metrics.counter("stage_received_total",
+                                           stage=self.name)
+        self._m_processed = metrics.counter("stage_processed_total",
+                                            stage=self.name)
+        self._m_dropped = metrics.counter("stage_dropped_total",
+                                          stage=self.name)
+        self._m_depth = metrics.gauge("stage_queue_depth_high_water",
+                                      stage=self.name)
+
+    # -- accounting (updates stats and the metrics registry together) -----
+
+    def mark_received(self, count: int = 1) -> None:
+        self.stats.received += count
+        self._m_received.inc(count)
+
+    def mark_processed(self, count: int = 1) -> None:
+        self.stats.processed += count
+        self._m_processed.inc(count)
+
+    def mark_dropped(self, count: int = 1) -> None:
+        self.stats.dropped += count
+        self._m_dropped.inc(count)
+
+    def note_queue_depth(self, depth: int) -> None:
+        """Record the stage's intake depth (keeps the high-water mark)."""
+        self._m_depth.set_max(depth)
 
     def subscriptions(self) -> Mapping[Type[Event], Handler]:
         """Event type → handler map; override in subclasses."""

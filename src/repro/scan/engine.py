@@ -31,6 +31,7 @@ from typing import Dict, Iterable, List, Optional
 
 from repro.net.clock import DAY
 from repro.net.simnet import Network
+from repro.obs.metrics import current_registry
 from repro.runtime.registry import ProbeRegistry, default_registry
 from repro.scan.ethics import EthicsPolicy
 from repro.scan.ratelimit import TokenBucket
@@ -78,7 +79,8 @@ class ScanScheduler:
     """
 
     def __init__(self, network: Network, config: EngineConfig,
-                 stats: EngineStats, rng: random.Random) -> None:
+                 stats: EngineStats, rng: random.Random,
+                 *, name: str = "engine") -> None:
         self.network = network
         self.config = config
         self.stats = stats
@@ -89,6 +91,15 @@ class ScanScheduler:
         )
         self._last_scanned: Dict[int, float] = {}
         self._admissions = 0
+        metrics = current_registry()
+        self._m_admitted = metrics.counter("scheduler_admitted_total",
+                                           engine=name)
+        self._m_cooldown = metrics.counter("scheduler_cooldown_hits_total",
+                                           engine=name)
+        self._m_pruned = metrics.counter("scheduler_pruned_total",
+                                         engine=name)
+        self._m_wait = metrics.histogram("scheduler_wait_seconds",
+                                         engine=name)
 
     @property
     def tracked_targets(self) -> int:
@@ -101,8 +112,10 @@ class ScanScheduler:
         last = self._last_scanned.get(target)
         if last is not None and now - last < self.config.cooldown:
             self.stats.targets_cooled_down += 1
+            self._m_cooldown.inc()
             return False
         self._last_scanned[target] = now
+        self._m_admitted.inc()
         self._admissions += 1
         if self._admissions % self.config.prune_every == 0:
             self.prune(now)
@@ -118,11 +131,14 @@ class ScanScheduler:
         for address in expired:
             del self._last_scanned[address]
         self.stats.cooldown_pruned += len(expired)
+        self._m_pruned.inc(len(expired))
         return len(expired)
 
     def pace(self, packet_cost: float, first_probe: bool) -> None:
         """Charge one probe against the budget (driving mode only)."""
-        self.stats.seconds_waited += self.bucket.acquire(packet_cost)
+        waited = self.bucket.acquire(packet_cost)
+        self.stats.seconds_waited += waited
+        self._m_wait.observe(waited)
         if not first_probe:
             self.network.clock.advance(self._protocol_delay())
 
@@ -135,21 +151,55 @@ class ProbeExecutor:
     """Runs a registry's probe modules against admitted targets."""
 
     def __init__(self, network: Network, source: int,
-                 registry: ProbeRegistry, stats: EngineStats) -> None:
+                 registry: ProbeRegistry, stats: EngineStats,
+                 *, name: str = "engine") -> None:
         self.network = network
         self.source = source
         self.registry = registry
         self.stats = stats
+        self._name = name
+        self._metrics = current_registry()
+        #: protocol → (attempts, successes, latency histogram), cached
+        #: per spec so the per-probe hot path is one dict lookup.
+        self._instruments: Dict[str, tuple] = {}
+
+    def _probe_instruments(self, protocol: str) -> tuple:
+        instruments = self._instruments.get(protocol)
+        if instruments is None:
+            instruments = (
+                self._metrics.counter("probe_attempts_total",
+                                      engine=self._name, protocol=protocol),
+                self._metrics.counter("probe_success_total",
+                                      engine=self._name, protocol=protocol),
+                self._metrics.histogram("probe_seconds",
+                                        engine=self._name, protocol=protocol),
+            )
+            self._instruments[protocol] = instruments
+        return instruments
 
     def execute(self, target: int,
                 scheduler: Optional[ScanScheduler] = None) -> List[Grab]:
         """Probe ``target`` with every registered module, in order."""
         grabs: List[Grab] = []
+        clock = self.network.clock
         for index, spec in enumerate(self.registry):
+            attempts, successes, latency = self._probe_instruments(spec.name)
             if scheduler is not None:
+                started = clock.now()
                 scheduler.pace(spec.packet_cost, first_probe=index == 0)
-            self.stats.probes_sent += 1
-            grabs.append(spec.probe(self.network, self.source, target))
+                self.stats.probes_sent += 1
+                grab = spec.probe(self.network, self.source, target)
+                latency.observe(clock.now() - started)
+            else:
+                # Embedded mode: the clock only moves between drains, so
+                # per-probe latency is 0 by construction — skip the reads.
+                self.stats.probes_sent += 1
+                grab = spec.probe(self.network, self.source, target)
+                latency.observe(0.0)
+            attempts.inc()
+            if grab.ok:
+                successes.inc()
+            grabs.append(grab)
         return grabs
 
     def execute_into(self, target: int, results: ScanResults,
@@ -160,11 +210,25 @@ class ProbeExecutor:
         :meth:`ScanResults.add` — the hot path of every campaign.
         """
         network, source = self.network, self.source
+        clock = network.clock
+        stats = self.stats
         for index, spec in enumerate(self.registry):
+            attempts, successes, latency = self._probe_instruments(spec.name)
             if scheduler is not None:
+                started = clock.now()
                 scheduler.pace(spec.packet_cost, first_probe=index == 0)
-            self.stats.probes_sent += 1
-            grab = spec.probe(network, source, target)
+                stats.probes_sent += 1
+                grab = spec.probe(network, source, target)
+                latency.observe(clock.now() - started)
+            else:
+                # Embedded mode: the clock only moves between drains, so
+                # per-probe latency is 0 by construction — skip the reads.
+                stats.probes_sent += 1
+                grab = spec.probe(network, source, target)
+                latency.observe(0.0)
+            attempts.inc()
+            if grab.ok:
+                successes.inc()
             results.bucket(grab.protocol).append(grab)
 
 
@@ -174,7 +238,8 @@ class ScanEngine:
     def __init__(self, network: Network, source: int,
                  config: Optional[EngineConfig] = None,
                  ethics: Optional[EthicsPolicy] = None,
-                 registry: Optional[ProbeRegistry] = None) -> None:
+                 registry: Optional[ProbeRegistry] = None,
+                 *, name: str = "engine") -> None:
         self.network = network
         self.source = source
         self.config = config or EngineConfig()
@@ -182,10 +247,13 @@ class ScanEngine:
         self.registry = registry if registry is not None else default_registry()
         self.rng = random.Random(self.config.seed)
         self.stats = EngineStats()
+        #: Label stamped onto this engine's metric series (shards get
+        #: ``<name>/shardN``, so per-shard load balance is visible).
+        self.name = name
         self.scheduler = ScanScheduler(network, self.config, self.stats,
-                                       self.rng)
+                                       self.rng, name=name)
         self.executor = ProbeExecutor(network, source, self.registry,
-                                      self.stats)
+                                      self.stats, name=name)
         network.add_host(source, reachable=True)
 
     @property

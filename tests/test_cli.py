@@ -1,8 +1,11 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+from repro.obs import RUN_REPORT_VERSION
 
 
 class TestParser:
@@ -60,6 +63,84 @@ class TestCommands:
         assert first == second
 
 
+class TestJsonFormat:
+    """--format json golden schema: every subcommand emits one stable
+    RunReport document."""
+
+    SCHEMA_KEYS = {"command", "version", "config", "metrics", "tables"}
+
+    def _run_json(self, capsys, argv):
+        assert main(argv) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert set(doc) == self.SCHEMA_KEYS
+        assert doc["version"] == RUN_REPORT_VERSION
+        assert set(doc["metrics"]) == {"counters", "gauges", "histograms"}
+        return doc
+
+    def test_world_json(self, capsys):
+        doc = self._run_json(capsys, ["world", "--scale", "0.05",
+                                      "--format", "json"])
+        assert doc["command"] == "world"
+        assert doc["config"]["scale"] == 0.05
+        assert doc["tables"]["summary"]["premises"] > 0
+        types = {row["type"] for row in doc["tables"]["composition"]}
+        assert "fritzbox" in types
+
+    def test_collect_json(self, capsys):
+        doc = self._run_json(capsys, ["collect", "--scale", "0.05",
+                                      "--days", "2", "--wire", "0",
+                                      "--format", "json"])
+        assert doc["command"] == "collect"
+        assert doc["tables"]["totals"]["addresses"] > 0
+        counters = {c["name"] for c in doc["metrics"]["counters"]}
+        assert "campaign_days_total" in counters
+        assert "bus_events_total" in counters
+
+    def test_study_json_has_runtime_metrics(self, capsys):
+        doc = self._run_json(capsys, ["study", "--scale", "0.05",
+                                      "--no-rl", "--wire", "0",
+                                      "--format", "json"])
+        assert doc["command"] == "study"
+        nonzero = {c["name"] for c in doc["metrics"]["counters"]
+                   if c["value"] > 0}
+        # The acceptance bar: stage, scheduler and per-protocol probe
+        # series must all be populated.
+        assert "stage_received_total" in nonzero
+        assert "scheduler_admitted_total" in nonzero
+        assert "probe_attempts_total" in nonzero
+        assert "probe_success_total" in nonzero
+        protocols = {c["labels"]["protocol"]
+                     for c in doc["metrics"]["counters"]
+                     if c["name"] == "probe_attempts_total"}
+        assert {"http", "https", "ssh", "coap"} <= protocols
+        assert doc["tables"]["table2"]
+
+    def test_study_json_sharded_labels(self, capsys):
+        doc = self._run_json(capsys, ["study", "--scale", "0.05",
+                                      "--no-rl", "--wire", "0",
+                                      "--shards", "2", "--format", "json"])
+        engines = {c["labels"]["engine"]
+                   for c in doc["metrics"]["counters"]
+                   if c["name"] == "scheduler_admitted_total"}
+        assert {"ntp/shard0", "ntp/shard1",
+                "hitlist/shard0", "hitlist/shard1"} <= engines
+
+    def test_telescope_json(self, capsys):
+        doc = self._run_json(capsys, ["telescope", "--scale", "0.05",
+                                      "--days", "2", "--format", "json"])
+        assert doc["command"] == "telescope"
+        assert doc["tables"]["telescope"]["baits"] > 0
+        assert isinstance(doc["tables"]["actors"], list)
+
+    def test_json_deterministic(self, capsys):
+        argv = ["world", "--scale", "0.05", "--seed", "7",
+                "--format", "json"]
+        main(argv)
+        first = capsys.readouterr().out
+        main(argv)
+        assert first == capsys.readouterr().out
+
+
 class TestSaveLoad:
     def test_collect_out(self, capsys, tmp_path):
         out = tmp_path / "dataset.jsonl"
@@ -79,3 +160,13 @@ class TestSaveLoad:
         text = capsys.readouterr().out
         assert "Device types (from saved results)" in text
         assert "secure share" in text
+
+    def test_study_out_dir_writes_run_report(self, capsys, tmp_path):
+        out = tmp_path / "artefacts"
+        assert main(["study", "--scale", "0.05", "--no-rl", "--wire", "0",
+                     "--out-dir", str(out)]) == 0
+        from repro.io import load_run_report
+
+        report = load_run_report(out / "run_report.jsonl")
+        assert report.command == "study"
+        assert report.tables["table1"]

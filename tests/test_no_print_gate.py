@@ -1,0 +1,41 @@
+"""Observability gate: no ``print(`` inside src/repro outside the CLI.
+
+Runtime code reports through the metrics registry and run reports, not
+stdout.  The only modules allowed to print are the CLI (``cli.py``) and
+the rendering layer (``report/``).  CI runs this test in the lint job,
+so a stray debugging print fails fast.
+
+The check is AST-based (calls to the ``print`` builtin), so docstring
+examples and comments do not trip it.
+"""
+
+import ast
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+#: Paths (relative to src/repro) allowed to call print().
+ALLOWED = ("cli.py", "report/")
+
+
+def _print_calls(path: Path):
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    for node in ast.walk(tree):
+        if (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"):
+            yield node.lineno
+
+
+def test_no_print_outside_cli_and_report():
+    offenders = []
+    for path in sorted(SRC.rglob("*.py")):
+        relative = path.relative_to(SRC).as_posix()
+        if relative in ALLOWED or any(
+                relative.startswith(prefix) for prefix in ALLOWED):
+            continue
+        offenders.extend(f"{relative}:{line}"
+                         for line in _print_calls(path))
+    assert not offenders, (
+        "print() calls outside cli.py/report/ (use the metrics registry "
+        f"or a RunReport instead): {offenders}")

@@ -1,0 +1,208 @@
+"""Unit tests for the metrics subsystem (repro.obs)."""
+
+import pytest
+
+from repro.net.clock import VirtualClock
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Span,
+    current_registry,
+    use_registry,
+)
+
+
+class TestCounter:
+    def test_monotonic(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+
+class TestGauge:
+    def test_moves_both_ways(self):
+        gauge = Gauge()
+        gauge.set(5)
+        gauge.dec(2)
+        gauge.inc()
+        assert gauge.value == 4
+
+    def test_set_max_keeps_high_water(self):
+        gauge = Gauge()
+        gauge.set_max(10)
+        gauge.set_max(3)
+        assert gauge.value == 10
+
+
+class TestHistogramBuckets:
+    """Fixed-boundary edge cases (the satellite's explicit target)."""
+
+    def test_value_on_boundary_lands_in_that_bucket(self):
+        histogram = Histogram(bounds=(1.0, 2.0, 4.0))
+        histogram.observe(2.0)
+        assert histogram.counts == [0, 1, 0, 0]
+
+    def test_value_below_first_boundary(self):
+        histogram = Histogram(bounds=(1.0, 2.0))
+        histogram.observe(0.0)
+        histogram.observe(-3.0)
+        assert histogram.counts[0] == 2
+
+    def test_value_above_last_boundary_overflows(self):
+        histogram = Histogram(bounds=(1.0, 2.0))
+        histogram.observe(99.0)
+        assert histogram.counts == [0, 0, 1]
+        # The overflow bucket reports the observed max as its quantile.
+        assert histogram.quantile(1.0) == 99.0
+
+    def test_counts_has_one_more_slot_than_bounds(self):
+        histogram = Histogram(bounds=(1.0, 2.0, 3.0))
+        assert len(histogram.counts) == 4
+
+    def test_boundaries_must_strictly_increase(self):
+        with pytest.raises(ValueError):
+            Histogram(bounds=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram(bounds=())
+
+    def test_sum_count_mean(self):
+        histogram = Histogram(bounds=(10.0,))
+        for value in (1.0, 2.0, 3.0):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.sum == pytest.approx(6.0)
+        assert histogram.mean == pytest.approx(2.0)
+
+    def test_empty_quantile_is_zero(self):
+        assert Histogram(bounds=(1.0,)).quantile(0.5) == 0.0
+
+    def test_quantile_walks_buckets(self):
+        histogram = Histogram(bounds=(1.0, 2.0, 4.0))
+        for _ in range(90):
+            histogram.observe(0.5)   # bucket le=1.0
+        for _ in range(10):
+            histogram.observe(3.0)   # bucket le=4.0
+        assert histogram.quantile(0.5) == 1.0
+        assert histogram.quantile(0.99) == 4.0
+
+    def test_quantile_range_checked(self):
+        with pytest.raises(ValueError):
+            Histogram(bounds=(1.0,)).quantile(1.5)
+
+    def test_merged(self):
+        a, b = Histogram(bounds=(1.0, 2.0)), Histogram(bounds=(1.0, 2.0))
+        a.observe(0.5)
+        b.observe(1.5)
+        b.observe(9.0)
+        merged = Histogram.merged([a, b])
+        assert merged.counts == [1, 1, 1]
+        assert merged.count == 3
+        assert merged.quantile(1.0) == 9.0
+
+    def test_merged_requires_same_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram.merged([Histogram(bounds=(1.0,)),
+                              Histogram(bounds=(2.0,))])
+
+
+class TestRegistry:
+    def test_get_or_create_same_series(self):
+        registry = MetricsRegistry()
+        first = registry.counter("hits_total", proto="ssh")
+        second = registry.counter("hits_total", proto="ssh")
+        assert first is second
+
+    def test_labels_distinguish_series(self):
+        registry = MetricsRegistry()
+        ssh = registry.counter("hits_total", proto="ssh")
+        coap = registry.counter("hits_total", proto="coap")
+        assert ssh is not coap
+
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+
+    def test_histogram_bounds_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.histogram("lat", buckets=(1.0, 2.0))
+        with pytest.raises(ValueError):
+            registry.histogram("lat", buckets=(1.0, 3.0))
+
+    def test_find_matches_label_subsets(self):
+        registry = MetricsRegistry()
+        registry.counter("n", engine="e/shard0", proto="ssh").inc(3)
+        registry.counter("n", engine="e/shard1", proto="ssh").inc(5)
+        matches = registry.find("n", proto="ssh")
+        assert len(matches) == 2
+        only = registry.find("n", engine="e/shard1")
+        assert len(only) == 1 and only[0][1].value == 5
+
+    def test_value_lookup(self):
+        registry = MetricsRegistry()
+        registry.counter("n", a="1").inc(7)
+        assert registry.value("n", a="1") == 7
+        assert registry.value("n", a="2") is None
+
+    def test_snapshot_is_deterministic_and_sorted(self):
+        def build():
+            registry = MetricsRegistry()
+            registry.counter("zeta").inc()
+            registry.counter("alpha", b="2").inc(2)
+            registry.counter("alpha", b="1").inc(1)
+            registry.gauge("depth").set(4)
+            registry.histogram("lat", buckets=(1.0,)).observe(0.5)
+            return registry.snapshot()
+
+        first, second = build(), build()
+        assert first == second
+        names = [entry["name"] for entry in first["counters"]]
+        assert names == sorted(names)
+
+
+class TestRegistryScoping:
+    def test_use_registry_scopes_and_restores(self):
+        outer = current_registry()
+        with use_registry() as registry:
+            assert current_registry() is registry
+            assert registry is not outer
+        assert current_registry() is outer
+
+    def test_nested_scopes(self):
+        with use_registry() as a:
+            with use_registry() as b:
+                assert current_registry() is b
+            assert current_registry() is a
+
+
+class TestSpan:
+    def test_measures_virtual_time(self):
+        clock = VirtualClock()
+        histogram = Histogram(bounds=(5.0, 50.0))
+        with Span(clock, histogram) as span:
+            clock.advance(30.0)
+        assert span.elapsed == 30.0
+        assert histogram.counts == [0, 1, 0]
+
+    def test_registry_span_helper(self):
+        clock = VirtualClock()
+        registry = MetricsRegistry()
+        with registry.span("stage_seconds", clock, stage="s"):
+            clock.advance(2.0)
+        histogram = registry.histogram("stage_seconds", stage="s")
+        assert histogram.count == 1
+        assert histogram.sum == pytest.approx(2.0)
+
+    def test_zero_elapsed_without_clock_movement(self):
+        clock = VirtualClock()
+        with Span(clock) as span:
+            pass
+        assert span.elapsed == 0.0

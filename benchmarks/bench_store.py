@@ -1,0 +1,116 @@
+"""Benchmarks of the repro.store write-ahead log.
+
+A store-backed study pays the WAL on every event: one canonical-JSON
+encode + CRC + line write per record, an fsync per ack batch, and a
+full sequential verify on recovery.  These benches pin the three costs
+that decide whether ``--store`` is affordable at paper scale: append
+throughput, checkpoint latency, and recovery-scan speed as a function
+of log length.
+"""
+
+import time
+
+from benchmarks.conftest import write_report
+from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.report import fmt_int, render_table
+from repro.store import Checkpoint, RunStore, WalReader, WalWriter
+
+RECORDS = 20_000
+
+
+def _payload(i):
+    return {"t": "grab", "label": "bench", "type": "http",
+            "addr": f"2001:db8::{i:x}", "time": float(i), "ok": True,
+            "port": 443, "status": 200, "title": f"Gerät-{i}",
+            "server": None, "tls": None}
+
+
+def _fill(wal_dir, count):
+    with use_registry(MetricsRegistry()):
+        writer = WalWriter(wal_dir, segment_max_records=4096,
+                           fsync_every=256)
+        for i in range(count):
+            writer.append(_payload(i))
+        writer.close()
+
+
+def test_append_throughput(benchmark, tmp_path):
+    counter = [0]
+
+    def setup():
+        counter[0] += 1
+        wal_dir = tmp_path / f"wal-{counter[0]}"
+        return (wal_dir,), {}
+
+    def append_all(wal_dir):
+        _fill(wal_dir, RECORDS)
+        return RECORDS
+
+    result = benchmark.pedantic(append_all, setup=setup, rounds=3,
+                                iterations=1)
+    assert result == RECORDS
+
+
+def test_checkpoint_latency(benchmark, tmp_path):
+    run_dir = tmp_path / "run"
+    with use_registry(MetricsRegistry()):
+        store = RunStore.create(run_dir, config={"bench": True},
+                                cooldown_ttl=0.0)
+        writer = store.new_writer()
+        for i in range(2048):
+            writer.append(_payload(i))
+        writer.sync()
+        state = {"counters": {f"series_{i}": i for i in range(64)}}
+        seqs = iter(range(10_000))
+
+        def checkpoint_once():
+            store.write_checkpoint(Checkpoint(seq=next(seqs),
+                                              chain=writer.chain,
+                                              state=state))
+
+        benchmark(checkpoint_once)
+        writer.close()
+
+
+def test_recovery_scan(benchmark, tmp_path):
+    wal_dir = tmp_path / "wal"
+    _fill(wal_dir, RECORDS)
+
+    def scan():
+        with use_registry(MetricsRegistry()):
+            reader = WalReader(wal_dir)
+            count = sum(1 for _ in reader.records())
+        return count, reader.last_seq
+
+    count, last_seq = benchmark(scan)
+    assert count == RECORDS and last_seq == RECORDS
+
+
+def test_store_scaling_report(tmp_path):
+    """Recovery time grows linearly with log length — table artefact."""
+    rows = []
+    for count in (5_000, 20_000, 80_000):
+        wal_dir = tmp_path / f"wal-{count}"
+        start = time.perf_counter()
+        _fill(wal_dir, count)
+        append_s = time.perf_counter() - start
+
+        start = time.perf_counter()
+        with use_registry(MetricsRegistry()):
+            seen = sum(1 for _ in WalReader(wal_dir).records())
+        scan_s = time.perf_counter() - start
+        assert seen == count
+
+        rows.append([fmt_int(count),
+                     fmt_int(int(count / append_s)),
+                     fmt_int(int(count / scan_s))])
+
+    text = render_table(
+        ["records", "append rec/s", "recover rec/s"], rows,
+        title="Run-store WAL scaling (append + recovery scan)")
+    write_report("store", text)
+
+    # Throughput must not collapse with log length (linear scans only).
+    first = int(rows[0][2].replace(" ", ""))
+    last = int(rows[-1][2].replace(" ", ""))
+    assert last > first / 4

@@ -65,18 +65,38 @@ class TelescopeConfig:
     def __post_init__(self) -> None:
         if self.sweep_days < 1:
             raise ValueError(
-                f"sweep_days must be >= 1, got {self.sweep_days}")
+                f"sweep_days={self.sweep_days}: must be >= 1")
         if self.settle_days < 0:
             raise ValueError(
-                f"settle_days must be >= 0, got {self.settle_days}")
+                f"settle_days={self.settle_days}: must be >= 0")
 
 
 @dataclass
 class AnalyzeConfig:
-    """Inputs of an offline re-analysis over saved scan results."""
+    """Inputs of an offline re-analysis over saved scan results.
 
-    ntp_path: str
-    hitlist_path: str
+    Two sources: a pair of ``study --out-dir`` JSONL files
+    (``ntp_path`` + ``hitlist_path``), or a :mod:`repro.store` run
+    directory (``run_dir``) — the latter reads the WAL segments
+    directly, so crashed or still-running studies analyze too.
+    """
+
+    ntp_path: Optional[str] = None
+    hitlist_path: Optional[str] = None
+    run_dir: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.run_dir is None and (self.ntp_path is None
+                                     or self.hitlist_path is None):
+            raise ValueError(
+                f"ntp_path={self.ntp_path!r}, "
+                f"hitlist_path={self.hitlist_path!r}: analyze needs both "
+                "saved-result paths, or run_dir pointing at a run store")
+        if self.run_dir is not None and (self.ntp_path is not None
+                                         or self.hitlist_path is not None):
+            raise ValueError(
+                f"run_dir={self.run_dir!r}: give either a run store or "
+                "saved-result paths, not both")
 
 
 # -- results ----------------------------------------------------------------
@@ -163,9 +183,34 @@ def collect(config: Optional[CollectConfig] = None) -> CollectResult:
 
 
 def study(config: Optional[ExperimentConfig] = None) -> StudyResult:
-    """Run the full study pipeline (collection + both scan paths)."""
+    """Run the full study pipeline (collection + both scan paths).
+
+    Set ``config.store_dir`` to stream the run into a durable
+    :mod:`repro.store` directory that :func:`resume` can continue.
+    """
     config = config or ExperimentConfig()
     result = run_experiment(config)
+    report = RunReport.build("study", asdict(config), result.metrics,
+                             study_tables(result))
+    return StudyResult(experiment=result, report=report)
+
+
+def resume(run_dir: str) -> StudyResult:
+    """Continue an interrupted store-backed study to completion.
+
+    Reads the run directory's stored config, replays the surviving WAL
+    deterministically (every regenerated record is verified against the
+    log), then continues the study live from the exact record where the
+    crash cut it off.  The returned report is identical to an
+    uninterrupted run's, modulo the ``store_*`` recovery metrics.
+    """
+    from repro.core.pipeline import experiment_config_from_document
+    from repro.store import RunStore
+
+    store = RunStore.open(run_dir)
+    config = experiment_config_from_document(store.meta["config"],
+                                             store_dir=str(run_dir))
+    result = run_experiment(config, resume=True)
     report = RunReport.build("study", asdict(config), result.metrics,
                              study_tables(result))
     return StudyResult(experiment=result, report=report)
@@ -271,12 +316,19 @@ def telescope(config: Optional[TelescopeConfig] = None) -> TelescopeResult:
 
 
 def analyze(config: AnalyzeConfig) -> AnalyzeResult:
-    """Re-run the analyses over previously saved scan results."""
+    """Re-run the analyses over saved scan results or a run store."""
     from repro.io import load_results
 
     with use_registry() as registry:
-        ntp_scan = load_results(config.ntp_path)
-        hitlist_scan = load_results(config.hitlist_path)
+        if config.run_dir is not None:
+            from repro.store import read_study
+
+            reader = read_study(config.run_dir)
+            ntp_scan = reader.scan("ntp")
+            hitlist_scan = reader.scan("hitlist")
+        else:
+            ntp_scan = load_results(config.ntp_path)
+            hitlist_scan = load_results(config.hitlist_path)
         registry.counter("analyze_targets_total", source="ntp").inc(
             ntp_scan.targets_seen)
         registry.counter("analyze_targets_total", source="hitlist").inc(
@@ -318,6 +370,7 @@ __all__ = [
     "analyze",
     "build_world",
     "collect",
+    "resume",
     "study",
     "study_tables",
     "telescope",

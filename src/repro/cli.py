@@ -6,7 +6,11 @@ Subcommands
 ``collect``     run the collection campaign, print per-server volumes
 ``study``       run the full pipeline, print the headline tables
 ``telescope``   deploy third-party actors and run the Section-5 detector
-``analyze``     re-run the analyses over saved JSONL scan results
+``analyze``     re-run the analyses over saved JSONL scan results or a
+                run-store directory (``--run-dir``)
+``store``       inspect/verify/compact a durable run store
+                (``study --store`` writes one; ``study --resume``
+                continues an interrupted one)
 
 All commands are deterministic in ``--seed`` and scale with ``--scale``.
 Every subcommand is a thin wrapper over :mod:`repro.api` and accepts
@@ -101,17 +105,24 @@ def cmd_collect(args: argparse.Namespace) -> int:
 def cmd_study(args: argparse.Namespace) -> int:
     protocols = tuple(args.protocols.split(",")) if args.protocols else None
     try:
-        config = ExperimentConfig(
-            world=_world_config(args),
-            campaign=CampaignConfig(wire_fraction=args.wire),
-            include_rl=not args.no_rl,
-            scan_shards=args.shards,
-            protocols=protocols,
-        )
+        if args.resume:
+            study = api.resume(args.resume)
+        else:
+            config = ExperimentConfig(
+                world=_world_config(args),
+                campaign=CampaignConfig(wire_fraction=args.wire),
+                include_rl=not args.no_rl,
+                scan_shards=args.shards,
+                protocols=protocols,
+                store_dir=args.store,
+                checkpoint_days=args.checkpoint_days,
+            )
+            study = api.study(config)
     except ValueError as exc:
+        # Config validation and store recovery failures (WalError is a
+        # ValueError) both surface here as actionable exit-2 messages.
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    study = api.study(config)
     result = study.experiment
 
     if args.out_dir:
@@ -173,9 +184,15 @@ def cmd_study(args: argparse.Namespace) -> int:
 
 
 def cmd_analyze(args: argparse.Namespace) -> int:
-    """Re-run the analyses over previously saved scan results."""
-    result = api.analyze(api.AnalyzeConfig(ntp_path=args.ntp,
-                                           hitlist_path=args.hitlist))
+    """Re-run the analyses over saved scan results or a run store."""
+    try:
+        config = api.AnalyzeConfig(ntp_path=args.ntp,
+                                   hitlist_path=args.hitlist,
+                                   run_dir=args.run_dir)
+        result = api.analyze(config)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     if args.format == "json":
         return _emit_json(result.report)
     tables = result.report.tables
@@ -190,6 +207,52 @@ def cmd_analyze(args: argparse.Namespace) -> int:
           f"{fmt_int(gap['ntp']['total'])} vs hitlist "
           f"{fmt_pct(gap['hitlist']['secure_share'])} of "
           f"{fmt_int(gap['hitlist']['total'])}")
+    return 0
+
+
+def cmd_store(args: argparse.Namespace) -> int:
+    """Operate on a durable run store: inspect, verify, compact."""
+    from repro.store import RunStore
+
+    try:
+        store = RunStore.open(args.run_dir)
+        if args.store_command == "inspect":
+            document = store.inspect()
+        elif args.store_command == "verify":
+            document = store.verify()
+        else:
+            document = store.compact()
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(document_to_json(document))
+    elif args.store_command == "inspect":
+        print(f"run store: {document['run_dir']}")
+        print(f"segments: {document['segments']} "
+              f"({fmt_int(document['wal_bytes'])} bytes)")
+        print(f"checkpoints: {document['checkpoints']} "
+              f"(latest at seq {document['latest_checkpoint_seq']})")
+        print(f"compacted through: seq {document['compacted_through']}")
+        print(f"cooldown TTL: {document['cooldown_ttl']:.0f} s, "
+              f"segment max {fmt_int(document['segment_max_records'])} "
+              f"records, fsync every {document['fsync_every']}")
+    elif args.store_command == "verify":
+        status = "OK" if document["ok"] else "CORRUPT"
+        print(f"{status}: {fmt_int(document['records'])} records "
+              f"(last seq {document['last_seq']}), "
+              f"{document['checkpoints']} checkpoints, "
+              f"{document['cooldown_violations']} cooldown violations")
+        for kind, count in sorted(document["records_by_kind"].items()):
+            print(f"  {kind}: {fmt_int(count)}")
+        for problem in document["problems"]:
+            print(f"  problem: {problem}")
+    else:
+        print(f"compacted {document['segments_deleted']} segments "
+              f"({fmt_int(document['records_dropped'])} records) "
+              f"through seq {document['compacted_through']}")
+    if args.store_command == "verify" and not document["ok"]:
+        return 1
     return 0
 
 
@@ -252,16 +315,43 @@ def build_parser() -> argparse.ArgumentParser:
                             "as JSONL")
     study.add_argument("--full-report", action="store_true",
                        help="print every paper table/figure")
+    study.add_argument("--store",
+                       help="stream the run into a durable run-store "
+                            "directory (resumable after a crash)")
+    study.add_argument("--checkpoint-days", type=int, default=7,
+                       dest="checkpoint_days",
+                       help="collection days between store checkpoints "
+                            "(default 7)")
+    study.add_argument("--resume", metavar="RUN_DIR",
+                       help="recover an interrupted store-backed study "
+                            "from its run directory and continue it "
+                            "(other study flags are ignored)")
     study.set_defaults(func=cmd_study)
 
     analyze = sub.add_parser(
         "analyze", help="re-run analyses over saved scan results")
     _add_format(analyze)
-    analyze.add_argument("--ntp", required=True,
+    analyze.add_argument("--ntp",
                          help="JSONL file from `study --out-dir`")
-    analyze.add_argument("--hitlist", required=True,
+    analyze.add_argument("--hitlist",
                          help="JSONL file from `study --out-dir`")
+    analyze.add_argument("--run-dir", dest="run_dir",
+                         help="analyze a run-store directory (from "
+                              "`study --store`) instead of saved files")
     analyze.set_defaults(func=cmd_analyze)
+
+    store = sub.add_parser(
+        "store", help="inspect, verify, or compact a run store")
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    for name, description in (
+            ("inspect", "summarize a run store's layout and positions"),
+            ("verify", "check CRCs, chain, and the cooldown invariant"),
+            ("compact", "delete whole segments covered by the latest "
+                        "checkpoint")):
+        command = store_sub.add_parser(name, help=description)
+        command.add_argument("run_dir", help="run-store directory")
+        _add_format(command)
+        command.set_defaults(func=cmd_store)
 
     telescope = sub.add_parser("telescope",
                                help="detect NTP-sourcing scanners")

@@ -62,23 +62,35 @@ class ExperimentConfig:
     #: Restrict the campaign's probe profile to these protocols (None =
     #: the paper's full eight-protocol registry).
     protocols: Optional[Tuple[str, ...]] = None
+    #: Stream the run into a durable :mod:`repro.store` run directory
+    #: (None = in-memory only, the seed behaviour).
+    store_dir: Optional[str] = None
+    #: Collection days between store checkpoints (only meaningful with
+    #: ``store_dir``).
+    checkpoint_days: int = 7
 
     def __post_init__(self) -> None:
         # Validation lives on the config (not the CLI handler) so the
-        # api facade and direct library construction share it.
+        # api facade and direct library construction share it.  Error
+        # messages lead with ``field=value`` so CLI exit-2 output names
+        # the offending value, not just the field.
         if self.scan_shards < 1:
             raise ValueError(
-                f"scan_shards must be >= 1, got {self.scan_shards}")
+                f"scan_shards={self.scan_shards}: must be >= 1")
+        if self.checkpoint_days < 1:
+            raise ValueError(
+                f"checkpoint_days={self.checkpoint_days}: must be >= 1")
         if self.protocols is not None:
             if not self.protocols:
                 raise ValueError(
-                    "protocols must name at least one protocol (or be None "
-                    "for the full registry)")
+                    f"protocols={self.protocols!r}: must name at least one "
+                    "protocol (or be None for the full registry)")
             unknown = [name for name in self.protocols
                        if name not in PROTOCOLS]
             if unknown:
                 raise ValueError(
-                    f"unknown protocol(s) {', '.join(sorted(unknown))}; "
+                    f"protocols={','.join(self.protocols)}: unknown "
+                    f"protocol(s) {', '.join(sorted(unknown))}; "
                     f"choose from {', '.join(PROTOCOLS)}")
 
 
@@ -150,22 +162,130 @@ def _build_engine(world: World, source: int, config: EngineConfig,
 
 
 def run_experiment(config: Optional[ExperimentConfig] = None,
-                   metrics: Optional[MetricsRegistry] = None) -> ExperimentResult:
+                   metrics: Optional[MetricsRegistry] = None,
+                   *, resume: bool = False) -> ExperimentResult:
     """Run the complete study; deterministic in ``config``.
 
     Every run records into its own :class:`MetricsRegistry` (or the one
     passed as ``metrics``), returned on ``result.metrics`` — identical
     snapshots for identical configs, so runs can be diffed.
+
+    With ``config.store_dir`` set, the run streams into a durable
+    :mod:`repro.store` run directory; ``resume=True`` recovers an
+    interrupted run from that directory and continues it (deterministic
+    replay: the simulation re-runs from genesis, verified record-by-
+    record against the surviving log, then keeps going live).
     """
     config = config or ExperimentConfig()
     registry = metrics if metrics is not None else MetricsRegistry()
     with use_registry(registry):
-        result = _run_experiment(config)
+        writer = _open_store_writer(config, resume=resume)
+        result = _run_experiment(config, writer)
     result.metrics = registry
     return result
 
 
-def _run_experiment(config: ExperimentConfig) -> ExperimentResult:
+def _open_store_writer(config: ExperimentConfig, *, resume: bool):
+    """The run's StoreWriter (None when no store is configured)."""
+    if config.store_dir is None:
+        if resume:
+            raise ValueError(
+                "store_dir=None: resuming requires the run directory of "
+                "an interrupted store-backed study")
+        return None
+    import json
+    from dataclasses import asdict
+
+    from repro.store.runstore import RunStore
+    from repro.store.writer import StoreWriter
+
+    if resume:
+        store = RunStore.open(config.store_dir)
+        return StoreWriter(store, recovery=store.recover(repair=True))
+    store = RunStore.create(
+        config.store_dir,
+        # JSON round-trip normalizes tuples to lists, so the stored
+        # config is exactly what experiment_config_from_document reads.
+        config=json.loads(json.dumps(asdict(config))),
+        cooldown_ttl=EngineConfig().cooldown,
+    )
+    return StoreWriter(store)
+
+
+def experiment_config_from_document(document: dict, *,
+                                    store_dir: Optional[str] = None
+                                    ) -> ExperimentConfig:
+    """Rebuild an :class:`ExperimentConfig` from its stored JSON form.
+
+    Inverse of the ``asdict`` + JSON round-trip persisted in a run
+    store's ``meta.json``; ``store_dir`` overrides the recorded path so
+    a moved run directory resumes in place.
+    """
+    campaign_doc = dict(document["campaign"])
+    campaign_doc["deployment"] = tuple(campaign_doc["deployment"])
+    protocols = document.get("protocols")
+    return ExperimentConfig(
+        world=WorldConfig(**document["world"]),
+        campaign=CampaignConfig(**campaign_doc),
+        hitlist=HitlistConfig(**document["hitlist"]),
+        include_rl=document["include_rl"],
+        rl_days=document["rl_days"],
+        gap_days=document["gap_days"],
+        lead_days=document["lead_days"],
+        final_days=document["final_days"],
+        scan_seed=document["scan_seed"],
+        scan_shards=document["scan_shards"],
+        protocols=tuple(protocols) if protocols is not None else None,
+        store_dir=store_dir if store_dir is not None
+        else document.get("store_dir"),
+        checkpoint_days=document.get("checkpoint_days", 7),
+    )
+
+
+def _campaign_targets(queue: RealTimeScanQueue,
+                      hitlist_scan: Optional[ScanResults] = None) -> dict:
+    """Cumulative targets-seen denominators for mark records."""
+    targets = {"ntp": queue.results.targets_seen}
+    if hitlist_scan is not None:
+        targets["hitlist"] = hitlist_scan.targets_seen
+    return targets
+
+
+def _checkpoint_state(config: ExperimentConfig, world,
+                      campaign: CollectionCampaign,
+                      queue: RealTimeScanQueue, engines: list,
+                      phase: str, day: int) -> dict:
+    """The JSON state snapshot stored in a checkpoint.
+
+    Recovery does not *load* this state (deterministic replay rebuilds
+    it); it exists for offline inspection and as the compaction anchor.
+    """
+    from repro.obs.metrics import current_registry
+
+    report = campaign.report()
+    cooldowns: dict = {}
+    for engine in engines:
+        cooldowns.update(engine.cooldown_snapshots())
+    return {
+        "phase": phase,
+        "day": day,
+        "clock": world.clock.now(),
+        "campaign": {
+            "days_run": report.days_run,
+            "addresses": len(campaign.dataset),
+            "requests": campaign.dataset.total_requests,
+            "wire_queries": report.wire_queries,
+            "fast_queries": report.fast_queries,
+            "per_server_requests": report.per_server_requests,
+        },
+        "targets": _campaign_targets(queue),
+        "cooldowns": cooldowns,
+        "metrics": current_registry().snapshot(),
+    }
+
+
+def _run_experiment(config: ExperimentConfig,
+                    writer=None) -> ExperimentResult:
     world = build_world(config.world)
 
     rl_dataset: Optional[CollectedDataset] = None
@@ -195,18 +315,46 @@ def _run_experiment(config: ExperimentConfig) -> ExperimentResult:
     )
     queue = RealTimeScanQueue(engine)
     campaign = CollectionCampaign(world, config.campaign, scan_queue=queue)
-    campaign.advance_days(config.lead_days)
+    if writer is not None:
+        # The queue subscribed first (campaign construction), so each
+        # sighting's admit/grab records land before its sighting record
+        # — in both original and replayed runs, since it is the same
+        # code path both times.
+        engine.attach_store(writer, label="ntp")
+        writer.attach(campaign.dataset.bus)
+        writer.mark("setup", 0, world.clock.now(), {})
 
-    # Hitlist snapshot, then the final shared week: collection continues
-    # while a second engine walks the full hitlist.
-    hitlist = build_hitlist(world, config.hitlist)
-    campaign.advance_days(config.final_days)
+    engines = [engine]
+    for phase, days in (("lead", config.lead_days),
+                        ("final", config.final_days)):
+        if phase == "final":
+            # Hitlist snapshot between the lead and final weeks.
+            hitlist = build_hitlist(world, config.hitlist)
+        for day in range(1, days + 1):
+            campaign.advance_days(1)
+            if writer is not None:
+                writer.mark(phase, day, world.clock.now(),
+                            _campaign_targets(queue))
+                if day % config.checkpoint_days == 0:
+                    writer.checkpoint(lambda: _checkpoint_state(
+                        config, world, campaign, queue, engines, phase, day))
+
     hitlist_engine = _build_engine(
         world, scanner_source,
         EngineConfig(drive_clock=False, seed=config.scan_seed ^ 0xFF),
         registry, config.scan_shards, name="hitlist",
     )
+    if writer is not None:
+        hitlist_engine.attach_store(writer, label="hitlist")
+        engines.append(hitlist_engine)
     hitlist_scan = hitlist_engine.run(sorted(hitlist.full), label="hitlist")
+
+    if writer is not None:
+        writer.mark("done", 0, world.clock.now(),
+                    _campaign_targets(queue, hitlist_scan))
+        writer.checkpoint(lambda: _checkpoint_state(
+            config, world, campaign, queue, engines, "done", 0))
+        writer.close()
 
     return ExperimentResult(
         world=world,

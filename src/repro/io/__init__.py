@@ -4,22 +4,28 @@ from repro.io.jsonl import (
     FORMAT_VERSION,
     FormatError,
     document_to_json,
+    grab_from_json,
+    grab_to_json,
     load_dataset,
     load_results,
     load_run_report,
     save_dataset,
     save_results,
     save_run_report,
+    to_canonical_json,
 )
 
 __all__ = [
     "FORMAT_VERSION",
     "FormatError",
     "document_to_json",
+    "grab_from_json",
+    "grab_to_json",
     "load_dataset",
     "load_results",
     "load_run_report",
     "save_dataset",
     "save_results",
     "save_run_report",
+    "to_canonical_json",
 ]

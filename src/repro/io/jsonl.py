@@ -51,13 +51,25 @@ def _check_header(record: Dict, kind: str) -> str:
     return record.get("label", "")
 
 
+def to_canonical_json(record: Dict) -> str:
+    """One record in this module's canonical form (sorted keys, raw
+    unicode, no trailing newline).
+
+    Every JSONL writer in the repo — including the ``repro.store`` WAL,
+    whose per-record CRCs are computed over this exact string — goes
+    through here, so a record has one byte representation everywhere.
+    """
+    return json.dumps(record, ensure_ascii=False, sort_keys=True)
+
+
 def _write_lines(path: PathLike, records: Iterable[Dict]) -> int:
+    # Every record — including the final one — is written as a single
+    # ``line + "\n"`` string, so files always end with a newline and a
+    # record is either fully present or fully absent after a torn write.
     count = 0
     with open(path, "w", encoding="utf-8") as handle:
         for record in records:
-            handle.write(json.dumps(record, ensure_ascii=False,
-                                    sort_keys=True))
-            handle.write("\n")
+            handle.write(to_canonical_json(record) + "\n")
             count += 1
     return count
 
@@ -159,7 +171,7 @@ def _tls_from_json(record: Optional[Dict]) -> Optional[TlsObservation]:
     )
 
 
-def _grab_to_json(grab) -> Dict:
+def grab_to_json(grab) -> Dict:
     base = {"addr": addrmod.format_address(grab.address),
             "time": grab.time, "ok": grab.ok}
     if isinstance(grab, HttpGrab):
@@ -183,7 +195,7 @@ def _grab_to_json(grab) -> Dict:
     return base
 
 
-def _grab_from_json(record: Dict):
+def grab_from_json(record: Dict):
     address = addrmod.parse(record["addr"])
     kind = record.get("type")
     if kind == "http":
@@ -224,7 +236,7 @@ def save_results(results: ScanResults, path: PathLike) -> int:
         for protocol in ("http", "https", "ssh", "mqtt", "mqtts",
                          "amqp", "amqps", "coap"):
             for grab in results.grabs(protocol):
-                yield _grab_to_json(grab)
+                yield grab_to_json(grab)
 
     return _write_lines(path, records())
 
@@ -312,5 +324,5 @@ def load_results(path: PathLike) -> ScanResults:
         if record.get("type") == "meta":
             results.targets_seen = record.get("targets_seen", 0)
             continue
-        results.add(_grab_from_json(record))
+        results.add(grab_from_json(record))
     return results

@@ -77,6 +77,20 @@ class ShardedScanEngine:
     def engine_for(self, target: int) -> ScanEngine:
         return self.engines[shard_of(target, self.shards)]
 
+    def attach_store(self, writer, *, label: str) -> None:
+        """Fan the store taps out: every shard logs under its own
+        engine name (``<name>/shardN``), so recovery rebuilds each
+        shard's cool-down map independently."""
+        for engine in self.engines:
+            engine.attach_store(writer, label=label)
+
+    def cooldown_snapshots(self):
+        """Per-shard cool-down maps, merged into one checkpoint dict."""
+        snapshots = {}
+        for engine in self.engines:
+            snapshots.update(engine.cooldown_snapshots())
+        return snapshots
+
     # -- ScanEngine contract ----------------------------------------------
 
     def scan_address(self, target: int):

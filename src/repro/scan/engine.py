@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional
 
 from repro.net.clock import DAY
 from repro.net.simnet import Network
@@ -91,6 +91,10 @@ class ScanScheduler:
         )
         self._last_scanned: Dict[int, float] = {}
         self._admissions = 0
+        #: Called with ``(target, now)`` on every successful admission —
+        #: the durability tap :class:`repro.store.writer.StoreWriter`
+        #: uses to log cool-down state as it changes.
+        self.admit_hook: Optional[Callable[[int, float], None]] = None
         metrics = current_registry()
         self._m_admitted = metrics.counter("scheduler_admitted_total",
                                            engine=name)
@@ -115,6 +119,8 @@ class ScanScheduler:
             self._m_cooldown.inc()
             return False
         self._last_scanned[target] = now
+        if self.admit_hook is not None:
+            self.admit_hook(target, now)
         self._m_admitted.inc()
         self._admissions += 1
         if self._admissions % self.config.prune_every == 0:
@@ -133,6 +139,17 @@ class ScanScheduler:
         self.stats.cooldown_pruned += len(expired)
         self._m_pruned.inc(len(expired))
         return len(expired)
+
+    def cooldown_snapshot(self) -> Dict[str, float]:
+        """The live cool-down map, JSON-shaped for checkpoints.
+
+        Keys are RFC 5952 address strings (the WAL's address form), in
+        sorted order so snapshots of equal state are byte-identical.
+        """
+        from repro.ipv6 import address as addrmod
+
+        return {addrmod.format_address(target): last
+                for target, last in sorted(self._last_scanned.items())}
 
     def pace(self, packet_cost: float, first_probe: bool) -> None:
         """Charge one probe against the budget (driving mode only)."""
@@ -158,6 +175,8 @@ class ProbeExecutor:
         self.registry = registry
         self.stats = stats
         self._name = name
+        #: Called with every completed grab — the store's durability tap.
+        self.grab_hook: Optional[Callable[[Grab], None]] = None
         self._metrics = current_registry()
         #: protocol → (attempts, successes, latency histogram), cached
         #: per spec so the per-probe hot path is one dict lookup.
@@ -199,6 +218,8 @@ class ProbeExecutor:
             attempts.inc()
             if grab.ok:
                 successes.inc()
+            if self.grab_hook is not None:
+                self.grab_hook(grab)
             grabs.append(grab)
         return grabs
 
@@ -212,6 +233,7 @@ class ProbeExecutor:
         network, source = self.network, self.source
         clock = network.clock
         stats = self.stats
+        grab_hook = self.grab_hook
         for index, spec in enumerate(self.registry):
             attempts, successes, latency = self._probe_instruments(spec.name)
             if scheduler is not None:
@@ -229,6 +251,8 @@ class ProbeExecutor:
             attempts.inc()
             if grab.ok:
                 successes.inc()
+            if grab_hook is not None:
+                grab_hook(grab)
             results.bucket(grab.protocol).append(grab)
 
 
@@ -260,6 +284,23 @@ class ScanEngine:
     def bucket(self) -> TokenBucket:
         """The scheduler's rate limiter (seed-era accessor)."""
         return self.scheduler.bucket
+
+    # -- durability taps ---------------------------------------------------
+
+    def attach_store(self, writer, *, label: str) -> None:
+        """Stream this engine's admissions and grabs into a store.
+
+        ``writer`` is a :class:`repro.store.writer.StoreWriter`;
+        ``label`` names the scan (e.g. ``"ntp"``/``"hitlist"``) in the
+        logged grab records.
+        """
+        self.scheduler.admit_hook = writer.admit_sink(self.name)
+        self.executor.grab_hook = writer.grab_sink(label)
+
+    def cooldown_snapshots(self) -> Dict[str, Dict[str, float]]:
+        """Per-engine cool-down maps for checkpoints (one entry here;
+        sharded engines return one per shard)."""
+        return {self.name: self.scheduler.cooldown_snapshot()}
 
     # -- single target ----------------------------------------------------
 

@@ -1,0 +1,355 @@
+"""The run store: one directory holding a study's durable state.
+
+Layout of a run directory::
+
+    run_dir/
+      meta.json          — store identity: config snapshot, cooldown TTL,
+                           WAL tuning, compaction horizon
+      wal/wal-*.jsonl    — the segmented write-ahead log
+      checkpoints/ckpt-* — atomic state snapshots
+
+:class:`RunStore` owns the layout and the crash-safety protocol around
+it: creating a store, recovering one after a crash (torn-tail repair +
+chain verification), compacting segments below the latest checkpoint,
+and the offline ``verify``/``inspect`` queries behind the CLI.
+
+The **cooldown invariant** checked by :meth:`RunStore.verify` is the
+paper's own scanning-ethics rule (Appendix A.2.1): the same address is
+never probed twice within the engine's cool-down TTL.  Every admission
+is logged, so the check is a pure fold over the surviving WAL.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.io.jsonl import to_canonical_json
+from repro.obs.metrics import current_registry
+from repro.store.checkpoint import (
+    Checkpoint,
+    latest_checkpoint,
+    list_checkpoints,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.store.wal import (
+    WalError,
+    WalReader,
+    WalWriter,
+    chain_extend,
+    list_segments,
+    segment_first_seq,
+)
+
+PathLike = Union[str, Path]
+
+META_NAME = "meta.json"
+META_VERSION = 1
+
+
+@dataclass
+class Recovery:
+    """What survived a crash: the replayable tail plus its provenance."""
+
+    #: Records after the compaction horizon, in sequence order.
+    records: List[Dict] = field(default_factory=list)
+    #: Highest surviving sequence number (0 for an empty store).
+    last_seq: int = 0
+    #: Chain CRC folded through ``last_seq``.
+    chain: int = 0
+    #: Records at or below this seq were compacted away.
+    compacted_through: int = 0
+    chain_at_compaction: int = 0
+    #: Newest valid checkpoint, if any.
+    checkpoint: Optional[Checkpoint] = None
+    #: Torn-tail lines truncated from the final segment.
+    truncated_lines: int = 0
+
+
+class RunStore:
+    """A run directory's durable store (WAL + checkpoints + meta)."""
+
+    def __init__(self, run_dir: PathLike, meta: Dict) -> None:
+        self.run_dir = Path(run_dir)
+        self.meta = meta
+        self.wal_dir = self.run_dir / "wal"
+        self.ckpt_dir = self.run_dir / "checkpoints"
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @classmethod
+    def create(cls, run_dir: PathLike, *, config: Dict,
+               cooldown_ttl: float,
+               segment_max_records: int = 4096,
+               fsync_every: int = 256) -> "RunStore":
+        """Initialize an empty store; refuses to clobber an existing one."""
+        run_dir = Path(run_dir)
+        if (run_dir / META_NAME).exists():
+            raise WalError(f"{run_dir}: store already exists "
+                           "(use resume, or choose a fresh directory)")
+        run_dir.mkdir(parents=True, exist_ok=True)
+        (run_dir / "wal").mkdir(exist_ok=True)
+        (run_dir / "checkpoints").mkdir(exist_ok=True)
+        meta = {
+            "kind": "run-store",
+            "version": META_VERSION,
+            "config": config,
+            "cooldown_ttl": cooldown_ttl,
+            "segment_max_records": segment_max_records,
+            "fsync_every": fsync_every,
+            "compacted_through": 0,
+            "chain_at_compaction": 0,
+        }
+        store = cls(run_dir, meta)
+        store._save_meta()
+        return store
+
+    @classmethod
+    def open(cls, run_dir: PathLike) -> "RunStore":
+        run_dir = Path(run_dir)
+        path = run_dir / META_NAME
+        if not path.exists():
+            raise WalError(f"{run_dir}: not a run store (no {META_NAME})")
+        try:
+            meta = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise WalError(f"{path}: malformed store metadata") from exc
+        if meta.get("kind") != "run-store":
+            raise WalError(f"{path}: not a run store metadata file")
+        if meta.get("version") != META_VERSION:
+            raise WalError(
+                f"{path}: unsupported store version {meta.get('version')}")
+        return cls(run_dir, meta)
+
+    def _save_meta(self) -> None:
+        # Same commit protocol as checkpoints: the rename is atomic, so
+        # meta either reflects the old horizon or the new one — crashes
+        # mid-compaction can strand deletable segments but never lose
+        # the chain needed to verify what remains.
+        path = self.run_dir / META_NAME
+        tmp = path.with_suffix(".tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(to_canonical_json(self.meta) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+
+    # -- writers -----------------------------------------------------------
+
+    def new_writer(self) -> WalWriter:
+        """A writer for a fresh (never-written) store."""
+        return WalWriter(
+            self.wal_dir,
+            segment_max_records=self.meta["segment_max_records"],
+            fsync_every=self.meta["fsync_every"],
+        )
+
+    def writer_for_append(self, recovery: Recovery) -> WalWriter:
+        """A writer positioned exactly after the recovered tail."""
+        segments = list_segments(self.wal_dir)
+        active: Optional[Path] = None
+        active_records = 0
+        if segments and recovery.last_seq > 0:
+            tail = segments[-1]
+            first = segment_first_seq(tail.name)
+            if first <= recovery.last_seq:
+                active = tail
+                active_records = recovery.last_seq - first + 1
+        return WalWriter(
+            self.wal_dir,
+            segment_max_records=self.meta["segment_max_records"],
+            fsync_every=self.meta["fsync_every"],
+            next_seq=recovery.last_seq + 1,
+            chain=recovery.chain,
+            active_segment=active,
+            active_records=active_records,
+        )
+
+    # -- recovery ----------------------------------------------------------
+
+    def recover(self, *, repair: bool = True) -> Recovery:
+        """Read everything that survived, verifying CRCs and the chain.
+
+        With ``repair=True`` (the default for resuming) a torn tail is
+        truncated in place so the next writer appends to a clean
+        segment; ``repair=False`` leaves the files untouched (used by
+        the read-only CLI paths).
+        """
+        compacted_through = self.meta.get("compacted_through", 0)
+        chain_at_compaction = self.meta.get("chain_at_compaction", 0)
+        reader = WalReader(self.wal_dir, start_seq=compacted_through + 1,
+                           chain=chain_at_compaction)
+        records = list(reader.records(repair=repair))
+        checkpoint = latest_checkpoint(self.ckpt_dir)
+        if (checkpoint is not None
+                and compacted_through <= checkpoint.seq <= reader.last_seq):
+            # Cross-check the replayed chain against the checkpoint's.
+            check = chain_at_compaction
+            seq = compacted_through
+            if checkpoint.seq > compacted_through:
+                for record in records:
+                    check = chain_extend(check, record["crc"])
+                    seq = record["seq"]
+                    if seq == checkpoint.seq:
+                        break
+            if seq != checkpoint.seq or check != checkpoint.chain:
+                raise WalError(
+                    f"checkpoint {checkpoint.name} chain mismatch: "
+                    f"log disagrees with snapshot at seq {checkpoint.seq}")
+        metrics = current_registry()
+        metrics.counter("store_recovery_records_total").inc(len(records))
+        metrics.counter("store_recovery_truncated_lines_total").inc(
+            reader.truncated_lines)
+        return Recovery(
+            records=records,
+            last_seq=max(reader.last_seq, compacted_through),
+            chain=reader.chain,
+            compacted_through=compacted_through,
+            chain_at_compaction=chain_at_compaction,
+            checkpoint=checkpoint,
+            truncated_lines=reader.truncated_lines,
+        )
+
+    # -- checkpoints ---------------------------------------------------------
+
+    def write_checkpoint(self, checkpoint: Checkpoint) -> Path:
+        path = save_checkpoint(self.ckpt_dir, checkpoint)
+        current_registry().counter("store_checkpoints_total").inc()
+        return path
+
+    # -- compaction ----------------------------------------------------------
+
+    def compact(self) -> Dict:
+        """Delete whole segments covered by the latest checkpoint.
+
+        Only segments *entirely* at or below the checkpoint's sequence
+        number go (and never the last segment, which the active writer
+        may still be appending to).  The meta horizon is committed
+        **before** any file is deleted: a crash between the two leaves
+        stale segments the reader already knows to skip.
+        """
+        checkpoint = latest_checkpoint(self.ckpt_dir)
+        report = {"segments_deleted": 0, "records_dropped": 0,
+                  "compacted_through": self.meta.get("compacted_through", 0)}
+        if checkpoint is None:
+            return report
+        segments = list_segments(self.wal_dir)
+        deletable: List[Path] = []
+        for index, path in enumerate(segments[:-1]):
+            next_first = segment_first_seq(segments[index + 1].name)
+            if next_first - 1 <= checkpoint.seq:
+                deletable.append(path)
+        if not deletable:
+            return report
+        horizon = segment_first_seq(
+            segments[len(deletable)].name) - 1
+        # Fold the chain through every record being dropped so readers
+        # can still verify the surviving suffix end-to-end.
+        reader = WalReader(
+            self.wal_dir,
+            start_seq=self.meta.get("compacted_through", 0) + 1,
+            chain=self.meta.get("chain_at_compaction", 0))
+        dropped = 0
+        for record in reader.records():
+            dropped += 1
+            if record["seq"] == horizon:
+                break
+        self.meta["compacted_through"] = horizon
+        self.meta["chain_at_compaction"] = reader.chain
+        self._save_meta()
+        for path in deletable:
+            path.unlink()
+        metrics = current_registry()
+        metrics.counter("store_compactions_total").inc()
+        metrics.counter("store_compacted_segments_total").inc(len(deletable))
+        report.update(segments_deleted=len(deletable),
+                      records_dropped=dropped, compacted_through=horizon)
+        return report
+
+    # -- offline queries -----------------------------------------------------
+
+    def verify(self) -> Dict:
+        """Full structural + invariant check; returns a findings report.
+
+        Checks, in order: record CRCs and sequence contiguity (via the
+        reader), chain agreement with every checkpoint inside the
+        surviving log, and the cooldown invariant — no address admitted
+        twice by one engine within ``cooldown_ttl`` simulated seconds.
+        """
+        problems: List[str] = []
+        compacted_through = self.meta.get("compacted_through", 0)
+        reader = WalReader(self.wal_dir, start_seq=compacted_through + 1,
+                           chain=self.meta.get("chain_at_compaction", 0))
+        ttl = self.meta.get("cooldown_ttl", 0.0)
+        last_admit: Dict[tuple, float] = {}
+        cooldown_violations = 0
+        counts: Dict[str, int] = {}
+        records = 0
+        chains_at: Dict[int, int] = {}
+        try:
+            for record in reader.records():
+                records += 1
+                kind = record.get("t", "unknown")
+                counts[kind] = counts.get(kind, 0) + 1
+                chains_at[record["seq"]] = reader.chain
+                if kind == "admit":
+                    key = (record["engine"], record["addr"])
+                    previous = last_admit.get(key)
+                    if previous is not None and record["time"] - previous < ttl:
+                        cooldown_violations += 1
+                        problems.append(
+                            f"seq {record['seq']}: {record['addr']} admitted "
+                            f"by {record['engine']} {record['time'] - previous:.0f}s "
+                            f"after previous admit (TTL {ttl:.0f}s)")
+                    last_admit[key] = record["time"]
+        except WalError as exc:
+            problems.append(str(exc))
+        for path in list_checkpoints(self.ckpt_dir):
+            try:
+                checkpoint = load_checkpoint(path)
+            except WalError as exc:
+                problems.append(str(exc))
+                continue
+            if checkpoint.seq <= compacted_through:
+                continue  # its records are gone; nothing to compare
+            expected = chains_at.get(checkpoint.seq)
+            if expected is None:
+                problems.append(
+                    f"{path.name}: no log record at seq {checkpoint.seq}")
+            elif expected != checkpoint.chain:
+                problems.append(
+                    f"{path.name}: chain mismatch at seq {checkpoint.seq}")
+        return {
+            "ok": not problems,
+            "records": records,
+            "records_by_kind": counts,
+            "last_seq": reader.last_seq,
+            "torn_tail_lines": reader.truncated_lines,
+            "compacted_through": compacted_through,
+            "checkpoints": len(list_checkpoints(self.ckpt_dir)),
+            "cooldown_violations": cooldown_violations,
+            "problems": problems,
+        }
+
+    def inspect(self) -> Dict:
+        """Cheap summary for the CLI: layout, sizes, positions."""
+        segments = list_segments(self.wal_dir)
+        checkpoints = list_checkpoints(self.ckpt_dir)
+        latest = latest_checkpoint(self.ckpt_dir)
+        return {
+            "run_dir": str(self.run_dir),
+            "segments": len(segments),
+            "segment_files": [path.name for path in segments],
+            "wal_bytes": sum(path.stat().st_size for path in segments),
+            "checkpoints": len(checkpoints),
+            "latest_checkpoint_seq": latest.seq if latest else None,
+            "compacted_through": self.meta.get("compacted_through", 0),
+            "cooldown_ttl": self.meta.get("cooldown_ttl"),
+            "segment_max_records": self.meta.get("segment_max_records"),
+            "fsync_every": self.meta.get("fsync_every"),
+            "config": self.meta.get("config", {}),
+        }

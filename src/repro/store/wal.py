@@ -1,0 +1,352 @@
+"""Segmented write-ahead log: append-only JSONL with CRCs and fsync batching.
+
+The WAL is the durability primitive of :mod:`repro.store`: every event
+the pipeline wants to survive a crash (sightings, grabs, scheduler
+admissions, progress marks) is appended as one JSONL record before the
+in-memory state that produced it is considered safe.  The format is the
+repo's canonical JSONL (:func:`repro.io.to_canonical_json` — sorted
+keys, raw unicode) with two extra fields per record:
+
+* ``seq`` — a contiguous sequence number starting at 1, so readers can
+  detect gaps and writers can resume exactly where a crash stopped;
+* ``crc`` — CRC-32 of the canonical record (without the ``crc`` field
+  itself), so bit rot and torn writes are detected record-by-record.
+
+Records are grouped into segments (``wal-<firstseq>.jsonl``) of at most
+``segment_max_records`` records; whole segments below a checkpoint can
+be deleted by compaction without rewriting anything.  Durability is
+batched: the file is flushed + fsynced every ``fsync_every`` records,
+and a record counts as **acked** only once its batch is synced — the
+"no lost acked records" invariant the crash-injection tests enforce is
+stated in terms of :attr:`WalWriter.acked_seq`.
+
+A rolling **chain CRC** (CRC-32 folded over every record's ``crc``)
+summarizes the whole log prefix in one integer.  Checkpoints record the
+chain at their sequence number, which lets recovery verify a replayed
+prefix even after the segments that held it were compacted away.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Callable, Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.io.jsonl import to_canonical_json
+from repro.obs.metrics import current_registry
+
+PathLike = Union[str, Path]
+
+SEGMENT_PREFIX = "wal-"
+SEGMENT_SUFFIX = ".jsonl"
+#: Digits in a segment's zero-padded first sequence number.  Wide
+#: enough for multi-year campaigns (12 digits ≈ 10¹² records).
+SEGMENT_DIGITS = 12
+
+
+class WalError(ValueError):
+    """Raised for structural log corruption (gaps, CRC failures)."""
+
+
+class RecoveryError(WalError):
+    """Raised when a recovery replay diverges from the logged run."""
+
+
+# -- fault injection (crash tests) ------------------------------------------
+
+#: Test hook called at durability-relevant points; raising from it
+#: simulates a crash.  Signature: ``hook(point, seq, acked_seq)`` where
+#: ``point`` is one of ``pre-append``, ``post-append``, ``pre-fsync``,
+#: ``post-fsync``, ``checkpoint``.
+_fault_hook: Optional[Callable[[str, int, int], None]] = None
+
+
+@contextmanager
+def fault_injection(hook: Callable[[str, int, int], None]):
+    """Install ``hook`` as the store-wide fault hook for a ``with`` block."""
+    global _fault_hook
+    previous = _fault_hook
+    _fault_hook = hook
+    try:
+        yield
+    finally:
+        _fault_hook = previous
+
+
+def fault_point(point: str, seq: int, acked: int) -> None:
+    """Invoke the installed fault hook (no-op outside crash tests)."""
+    if _fault_hook is not None:
+        _fault_hook(point, seq, acked)
+
+
+# -- record framing ----------------------------------------------------------
+
+def record_crc(seq: int, payload: Dict) -> str:
+    """CRC-32 (8 hex digits) of the canonical ``{seq, **payload}`` record."""
+    canonical = to_canonical_json({"seq": seq, **payload})
+    return f"{zlib.crc32(canonical.encode('utf-8')) & 0xFFFFFFFF:08x}"
+
+
+def chain_extend(chain: int, crc_hex: str) -> int:
+    """Fold one record's CRC into the rolling chain CRC."""
+    return zlib.crc32(crc_hex.encode("ascii"), chain) & 0xFFFFFFFF
+
+
+def verify_record(record: Dict) -> bool:
+    """Whether ``record``'s stored CRC matches its contents."""
+    stored = record.get("crc")
+    seq = record.get("seq")
+    if not isinstance(stored, str) or not isinstance(seq, int):
+        return False
+    payload = {key: value for key, value in record.items()
+               if key not in ("seq", "crc")}
+    return record_crc(seq, payload) == stored
+
+
+def segment_name(first_seq: int) -> str:
+    return f"{SEGMENT_PREFIX}{first_seq:0{SEGMENT_DIGITS}d}{SEGMENT_SUFFIX}"
+
+
+def segment_first_seq(name: str) -> int:
+    """The first sequence number encoded in a segment file name."""
+    stem = name[len(SEGMENT_PREFIX):-len(SEGMENT_SUFFIX)]
+    if (not name.startswith(SEGMENT_PREFIX)
+            or not name.endswith(SEGMENT_SUFFIX) or not stem.isdigit()):
+        raise WalError(f"not a WAL segment name: {name!r}")
+    return int(stem)
+
+
+def list_segments(wal_dir: PathLike) -> List[Path]:
+    """Every segment in ``wal_dir``, ordered by first sequence number."""
+    wal_dir = Path(wal_dir)
+    if not wal_dir.is_dir():
+        return []
+    segments = [path for path in wal_dir.iterdir()
+                if path.name.startswith(SEGMENT_PREFIX)
+                and path.name.endswith(SEGMENT_SUFFIX)]
+    return sorted(segments, key=lambda path: segment_first_seq(path.name))
+
+
+# -- writer ------------------------------------------------------------------
+
+class WalWriter:
+    """Appends records to segment files with batched fsync.
+
+    ``next_seq``/``chain``/``active_segment`` let a recovered run
+    continue appending exactly where the surviving log ends.
+    """
+
+    def __init__(self, wal_dir: PathLike, *,
+                 segment_max_records: int = 4096,
+                 fsync_every: int = 256,
+                 next_seq: int = 1,
+                 chain: int = 0,
+                 active_segment: Optional[Path] = None,
+                 active_records: int = 0) -> None:
+        if segment_max_records < 1:
+            raise ValueError(f"segment_max_records={segment_max_records}: "
+                             "must be >= 1")
+        if fsync_every < 1:
+            raise ValueError(f"fsync_every={fsync_every}: must be >= 1")
+        self.wal_dir = Path(wal_dir)
+        self.wal_dir.mkdir(parents=True, exist_ok=True)
+        self.segment_max_records = segment_max_records
+        self.fsync_every = fsync_every
+        self._next_seq = next_seq
+        self._chain = chain
+        self._acked_seq = next_seq - 1
+        self._pending = 0
+        self._segment_records = active_records
+        self._handle = None
+        if active_segment is not None:
+            # Line buffered: each record reaches the OS at append time;
+            # only the fsync (the ack) is batched.  A record must never
+            # linger in a userspace buffer where a crashed writer could
+            # replay it into the file after recovery has moved on.
+            self._handle = open(active_segment, "a", encoding="utf-8",
+                                buffering=1)
+        metrics = current_registry()
+        self._m_segments = metrics.counter("store_segments_total")
+        self._m_bytes = metrics.counter("store_bytes_total")
+        self._m_fsyncs = metrics.counter("store_fsyncs_total")
+        self._m_records: Dict[str, object] = {}
+        self._registry = metrics
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def last_seq(self) -> int:
+        """Sequence number of the last appended record (0 when none)."""
+        return self._next_seq - 1
+
+    @property
+    def acked_seq(self) -> int:
+        """Highest sequence number known durable (flushed + fsynced)."""
+        return self._acked_seq
+
+    @property
+    def chain(self) -> int:
+        """Rolling chain CRC over every appended record."""
+        return self._chain
+
+    # -- appending ---------------------------------------------------------
+
+    def append(self, payload: Dict) -> int:
+        """Append one record; returns its sequence number.
+
+        The record is durable only once its fsync batch completes — use
+        :attr:`acked_seq` (or call :meth:`sync`) for the durability
+        horizon.
+        """
+        seq = self._next_seq
+        crc = record_crc(seq, payload)
+        line = to_canonical_json({"crc": crc, "seq": seq, **payload}) + "\n"
+        fault_point("pre-append", seq, self._acked_seq)
+        if self._handle is None or self._segment_records >= self.segment_max_records:
+            self._roll(seq)
+        self._handle.write(line)
+        self._segment_records += 1
+        self._next_seq = seq + 1
+        self._chain = chain_extend(self._chain, crc)
+        self._pending += 1
+        kind = payload.get("t", "unknown")
+        counter = self._m_records.get(kind)
+        if counter is None:
+            counter = self._registry.counter("store_records_total", kind=kind)
+            self._m_records[kind] = counter
+        counter.inc()
+        self._m_bytes.inc(len(line.encode("utf-8")))
+        fault_point("post-append", seq, self._acked_seq)
+        if self._pending >= self.fsync_every:
+            self.sync()
+        return seq
+
+    def _roll(self, first_seq: int) -> None:
+        """Close the active segment (synced) and start a new one."""
+        if self._handle is not None:
+            self.sync()
+            self._handle.close()
+        path = self.wal_dir / segment_name(first_seq)
+        self._handle = open(path, "w", encoding="utf-8", buffering=1)
+        self._segment_records = 0
+        self._m_segments.inc()
+
+    def sync(self) -> int:
+        """Flush + fsync pending records; returns the new acked seq."""
+        if self._handle is not None and self._pending:
+            fault_point("pre-fsync", self.last_seq, self._acked_seq)
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+            self._acked_seq = self.last_seq
+            self._pending = 0
+            self._m_fsyncs.inc()
+            fault_point("post-fsync", self.last_seq, self._acked_seq)
+        return self._acked_seq
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self.sync()
+            self._handle.close()
+            self._handle = None
+
+
+# -- reader ------------------------------------------------------------------
+
+class WalReader:
+    """Reads records in sequence order, verifying CRCs and contiguity.
+
+    After (or during) iteration, :attr:`last_seq`, :attr:`chain` and
+    :attr:`truncated_lines` describe what was read.  A torn tail — one
+    or more undecodable/mismatching lines at the *end of the last
+    segment*, the signature of a crash mid-write — is tolerated:
+    iteration stops at the last valid record (and the file is truncated
+    back to it when ``repair=True``).  Invalid data anywhere else is
+    structural corruption and raises :class:`WalError`.
+    """
+
+    def __init__(self, wal_dir: PathLike, *, start_seq: int = 1,
+                 chain: int = 0) -> None:
+        self.wal_dir = Path(wal_dir)
+        self.start_seq = start_seq
+        self.chain = chain
+        self.last_seq = start_seq - 1
+        self.truncated_lines = 0
+        self.segments_read = 0
+
+    @staticmethod
+    def _parse(line: str) -> Optional[Dict]:
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            return None
+        if not isinstance(record, dict) or not verify_record(record):
+            return None
+        return record
+
+    def _segments(self) -> List[Path]:
+        """Segments that can hold records >= ``start_seq``.
+
+        Compacted-away prefixes leave no files; a leftover segment from
+        a crash mid-compaction is included and filtered record-by-record.
+        """
+        segments = list_segments(self.wal_dir)
+        selected: List[Path] = []
+        straddler: Optional[Path] = None
+        for path in segments:
+            if segment_first_seq(path.name) >= self.start_seq:
+                selected.append(path)
+            else:
+                straddler = path  # highest first_seq below start wins
+        if straddler is not None:
+            selected.insert(0, straddler)
+        return selected
+
+    def records(self, *, repair: bool = False) -> Iterator[Dict]:
+        expected = self.start_seq
+        selected = self._segments()
+        for index, path in enumerate(selected):
+            self.segments_read += 1
+            last_segment = index == len(selected) - 1
+            lines = path.read_text(encoding="utf-8").split("\n")
+            lines = [(number, line) for number, line in enumerate(lines, 1)
+                     if line.strip()]
+            for position, (line_number, line) in enumerate(lines):
+                record = self._parse(line)
+                if record is None:
+                    if last_segment and not any(
+                            self._parse(later) is not None
+                            for _, later in lines[position + 1:]):
+                        # Torn tail: a crash interrupted the final write.
+                        self.truncated_lines = len(lines) - position
+                        if repair:
+                            self._truncate(path, lines[:position])
+                        return
+                    raise WalError(
+                        f"{path.name}:{line_number}: corrupt WAL record")
+                if record["seq"] < self.start_seq:
+                    continue  # pre-compaction leftovers
+                if record["seq"] != expected:
+                    raise WalError(
+                        f"{path.name}:{line_number}: sequence gap — "
+                        f"expected {expected}, found {record['seq']}")
+                self.chain = chain_extend(self.chain, record["crc"])
+                self.last_seq = expected
+                expected += 1
+                yield record
+
+    def _truncate(self, path: Path, keep: List[Tuple[int, str]]) -> None:
+        """Rewrite ``path`` with only its valid prefix (torn-tail repair)."""
+        text = "".join(line + "\n" for _, line in keep)
+        tmp = path.with_suffix(path.suffix + ".tmp")
+        tmp.write_text(text, encoding="utf-8")
+        os.replace(tmp, path)
+
+
+def read_all(wal_dir: PathLike, *, start_seq: int = 1, chain: int = 0,
+             repair: bool = False) -> Tuple[List[Dict], "WalReader"]:
+    """All surviving records plus the reader holding scan statistics."""
+    reader = WalReader(wal_dir, start_seq=start_seq, chain=chain)
+    return list(reader.records(repair=repair)), reader

@@ -7,12 +7,20 @@ that break isolation (tests that need mutation build their own).
 
 from __future__ import annotations
 
+import sys
+
 import pytest
 
 from repro.core.campaign import CampaignConfig
 from repro.core.pipeline import ExperimentConfig, run_experiment
 from repro.net.simnet import Network
 from repro.world.population import World, WorldConfig, build_world
+
+# Keep test runs from littering src/ and tests/ with __pycache__
+# directories (``.gitignore`` hides them from git, but grep/find
+# workflows still trip over stale .pyc trees).  conftest loads before
+# any test module, so this covers the whole session.
+sys.dont_write_bytecode = True
 
 #: A scale small enough for seconds-fast tests but large enough that
 #: every device type and protocol appears.

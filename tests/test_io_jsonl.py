@@ -138,3 +138,50 @@ class TestResultsRoundtrip:
                 experiment.ntp_scan.responsive_addresses(protocol)
             assert loaded.unique_fingerprints(protocol) == \
                 experiment.ntp_scan.unique_fingerprints(protocol)
+
+
+class TestCanonicalForm:
+    """The byte-level guarantees the repro.store WAL's CRCs lean on."""
+
+    def test_non_ascii_titles_roundtrip(self, tmp_path):
+        from repro.io import save_results
+
+        data = ScanResults(label="umlaut-scan")
+        data.targets_seen = 1
+        data.add(HttpGrab(address=parse("2001:db8::1"), time=1.0, port=80,
+                          ok=True, status=200, title="FRITZ!Box — Köln ✓",
+                          server="Heißgerät/1.0"))
+        path = tmp_path / "results.jsonl"
+        save_results(data, path)
+        loaded = load_results(path)
+        assert loaded.http[0].title == "FRITZ!Box — Köln ✓"
+        assert loaded.http[0].server == "Heißgerät/1.0"
+        # Canonical form stores raw unicode, not \u escapes: the bytes
+        # the CRC covers are the bytes on disk.
+        assert "Köln" in path.read_text(encoding="utf-8")
+        assert "\\u" not in path.read_text(encoding="utf-8")
+
+    def test_canonical_json_is_sorted_and_newline_free(self):
+        from repro.io import to_canonical_json
+
+        line = to_canonical_json({"b": 1, "a": "día\n二"})
+        assert line == '{"a": "día\\n二", "b": 1}'
+        assert "\n" not in line  # one record == one line, always
+
+    def test_files_end_with_exactly_one_newline(self, results, tmp_path):
+        from repro.io import save_results
+
+        path = tmp_path / "results.jsonl"
+        save_results(results, path)
+        text = path.read_text(encoding="utf-8")
+        assert text.endswith("\n") and not text.endswith("\n\n")
+
+    def test_integers_beyond_2_53_are_exact(self):
+        """Sequence numbers are Python ints end to end — no float hop
+        (JavaScript-style 2^53 truncation) in the canonical form."""
+        from repro.io import to_canonical_json
+
+        big = 2**53 + 1
+        line = to_canonical_json({"seq": big})
+        assert json.loads(line)["seq"] == big
+        assert str(big) in line

@@ -1,0 +1,397 @@
+"""Unit tests for the durable run store: WAL, checkpoints, recovery.
+
+The crash-injection and golden-resume suites exercise the store through
+the full pipeline; these tests pin the primitives' contracts directly —
+framing, CRCs, segment rolling, fsync acking, torn-tail repair,
+checkpoint atomicity, compaction arithmetic, and the CLI surface.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.cli import main
+from repro.store import (
+    Checkpoint,
+    RunStore,
+    StoreWriter,
+    WalError,
+    WalReader,
+    WalWriter,
+    chain_extend,
+    fault_injection,
+    latest_checkpoint,
+    list_segments,
+    load_checkpoint,
+    read_study,
+    record_crc,
+    save_checkpoint,
+    segment_name,
+    verify_record,
+)
+from repro.store.wal import read_all, segment_first_seq
+
+COOLDOWN = 259_200.0  # the engine default: 3 simulated days
+
+
+def make_store(tmp_path, **overrides):
+    params = dict(config={"seed": 7}, cooldown_ttl=COOLDOWN,
+                  segment_max_records=4, fsync_every=2)
+    params.update(overrides)
+    return RunStore.create(tmp_path / "run", **params)
+
+
+def sighting(i):
+    return {"t": "sighting", "addr": f"2001:db8::{i:x}",
+            "time": float(i), "server": "Germany"}
+
+
+class TestRecordFraming:
+    def test_crc_round_trip(self):
+        payload = sighting(1)
+        crc = record_crc(5, payload)
+        assert verify_record({"crc": crc, "seq": 5, **payload})
+
+    def test_crc_detects_any_field_change(self):
+        payload = sighting(1)
+        record = {"crc": record_crc(5, payload), "seq": 5, **payload}
+        assert not verify_record({**record, "time": 2.0})
+        assert not verify_record({**record, "seq": 6})
+
+    def test_crc_covers_non_ascii(self):
+        a = record_crc(1, {"t": "mark", "server": "Köln"})
+        b = record_crc(1, {"t": "mark", "server": "Koln"})
+        assert a != b
+
+    def test_chain_is_order_sensitive(self):
+        one, two = record_crc(1, sighting(1)), record_crc(2, sighting(2))
+        assert (chain_extend(chain_extend(0, one), two)
+                != chain_extend(chain_extend(0, two), one))
+
+    def test_segment_names_sort_with_sequence(self):
+        names = [segment_name(seq) for seq in (1, 9, 10, 3000, 10**11)]
+        assert names == sorted(names)
+        assert segment_first_seq(segment_name(10**11)) == 10**11
+
+
+class TestWalWriter:
+    def test_rolls_segments_at_max_records(self, tmp_path):
+        writer = WalWriter(tmp_path, segment_max_records=3, fsync_every=1)
+        for i in range(7):
+            writer.append(sighting(i))
+        writer.close()
+        segments = list_segments(tmp_path)
+        assert [p.name for p in segments] == [
+            segment_name(1), segment_name(4), segment_name(7)]
+
+    def test_ack_advances_only_on_fsync(self, tmp_path):
+        writer = WalWriter(tmp_path, fsync_every=3)
+        writer.append(sighting(0))
+        writer.append(sighting(1))
+        assert writer.acked_seq == 0  # batch not full, nothing synced
+        writer.append(sighting(2))
+        assert writer.acked_seq == 3  # batch boundary fsynced
+        writer.append(sighting(3))
+        assert writer.sync() == 4
+        writer.close()
+
+    def test_reader_reproduces_writer_chain(self, tmp_path):
+        writer = WalWriter(tmp_path, segment_max_records=5, fsync_every=2)
+        for i in range(13):
+            writer.append(sighting(i))
+        writer.close()
+        records, reader = read_all(tmp_path)
+        assert len(records) == 13
+        assert reader.last_seq == writer.last_seq
+        assert reader.chain == writer.chain
+
+    def test_large_sequence_numbers_survive(self, tmp_path):
+        """seq > 2^53 (beyond float53 precision) must round-trip exactly."""
+        start = 2**53 + 3
+        writer = WalWriter(tmp_path, next_seq=start)
+        writer.append(sighting(1))
+        writer.close()
+        records, reader = read_all(tmp_path, start_seq=start)
+        assert records[0]["seq"] == start
+        assert reader.last_seq == start
+
+    def test_non_ascii_payloads_round_trip(self, tmp_path):
+        writer = WalWriter(tmp_path)
+        payload = {"t": "mark", "phase": "día-final", "day": 1,
+                   "clock": 0.0, "targets": {"ntp-köln": 5}}
+        writer.append(payload)
+        writer.close()
+        records, _ = read_all(tmp_path)
+        assert records[0]["phase"] == "día-final"
+        assert records[0]["targets"] == {"ntp-köln": 5}
+
+
+class TestWalReader:
+    def _write(self, tmp_path, count, **kwargs):
+        writer = WalWriter(tmp_path, **kwargs)
+        for i in range(count):
+            writer.append(sighting(i))
+        writer.close()
+        return writer
+
+    def test_torn_tail_is_tolerated_and_repaired(self, tmp_path):
+        self._write(tmp_path, 5, segment_max_records=10)
+        segment = list_segments(tmp_path)[-1]
+        with open(segment, "a", encoding="utf-8") as handle:
+            handle.write('{"t": "sighting", "half')  # crash mid-write
+        records, reader = read_all(tmp_path, repair=True)
+        assert len(records) == 5
+        assert reader.truncated_lines == 1
+        # Repair truncated the file: a fresh read sees a clean log.
+        records, reader = read_all(tmp_path)
+        assert len(records) == 5 and reader.truncated_lines == 0
+
+    def test_corruption_in_the_middle_raises(self, tmp_path):
+        self._write(tmp_path, 6, segment_max_records=10)
+        segment = list_segments(tmp_path)[0]
+        lines = segment.read_text().splitlines()
+        lines[2] = lines[2].replace("sighting", "sabotage")
+        segment.write_text("\n".join(lines) + "\n")
+        with pytest.raises(WalError, match="corrupt WAL record"):
+            list(WalReader(tmp_path).records())
+
+    def test_sequence_gap_raises(self, tmp_path):
+        self._write(tmp_path, 6, segment_max_records=10)
+        segment = list_segments(tmp_path)[0]
+        lines = segment.read_text().splitlines()
+        del lines[2]
+        segment.write_text("\n".join(lines) + "\n")
+        with pytest.raises(WalError, match="sequence gap"):
+            list(WalReader(tmp_path).records())
+
+
+class TestCheckpoints:
+    def test_save_load_round_trip(self, tmp_path):
+        checkpoint = Checkpoint(seq=42, chain=0xDEAD,
+                                state={"clock": 86400.0, "targets": {"ntp": 7}})
+        path = save_checkpoint(tmp_path, checkpoint)
+        loaded = load_checkpoint(path)
+        assert loaded == checkpoint
+
+    def test_corrupt_checkpoint_is_rejected_and_skipped(self, tmp_path):
+        save_checkpoint(tmp_path, Checkpoint(seq=10, chain=1, state={}))
+        newest = save_checkpoint(tmp_path, Checkpoint(seq=20, chain=2,
+                                                      state={}))
+        newest.write_text(newest.read_text().replace('"chain": 2',
+                                                     '"chain": 3'))
+        with pytest.raises(WalError, match="CRC mismatch"):
+            load_checkpoint(newest)
+        # latest_checkpoint falls back to the next-newest valid file.
+        assert latest_checkpoint(tmp_path).seq == 10
+
+    def test_tmp_files_are_invisible(self, tmp_path):
+        save_checkpoint(tmp_path, Checkpoint(seq=10, chain=1, state={}))
+        (tmp_path / "ckpt-000000000020.json.tmp").write_text("{}")
+        assert latest_checkpoint(tmp_path).seq == 10
+
+
+class TestRunStore:
+    def test_create_refuses_to_clobber(self, tmp_path):
+        make_store(tmp_path)
+        with pytest.raises(WalError, match="already exists"):
+            make_store(tmp_path)
+
+    def test_open_requires_meta(self, tmp_path):
+        with pytest.raises(WalError, match="not a run store"):
+            RunStore.open(tmp_path)
+
+    def test_recover_then_append_continues_sequence(self, tmp_path):
+        store = make_store(tmp_path)
+        writer = store.new_writer()
+        for i in range(6):
+            writer.append(sighting(i))
+        writer.close()
+        recovery = store.recover()
+        assert recovery.last_seq == 6
+        writer = store.writer_for_append(recovery)
+        assert writer.append(sighting(6)) == 7
+        writer.close()
+        assert store.recover().last_seq == 7
+
+    def test_compact_drops_only_checkpointed_whole_segments(self, tmp_path):
+        store = make_store(tmp_path)  # 4 records per segment
+        writer = store.new_writer()
+        for i in range(10):
+            writer.append(sighting(i))
+        writer.sync()
+        store.write_checkpoint(Checkpoint(seq=writer.last_seq,
+                                          chain=writer.chain, state={}))
+        writer.close()
+        report = store.compact()
+        # Segments [1..4] and [5..8] go; [9..10] is the last segment.
+        assert report["segments_deleted"] == 2
+        assert report["compacted_through"] == 8
+        recovery = store.recover()
+        assert recovery.compacted_through == 8
+        assert [r["seq"] for r in recovery.records] == [9, 10]
+        assert store.verify()["ok"]
+
+    def test_compact_without_checkpoint_is_a_noop(self, tmp_path):
+        store = make_store(tmp_path)
+        writer = store.new_writer()
+        for i in range(10):
+            writer.append(sighting(i))
+        writer.close()
+        assert store.compact()["segments_deleted"] == 0
+        assert len(list_segments(store.wal_dir)) == 3
+
+    def test_verify_flags_cooldown_violation(self, tmp_path):
+        store = make_store(tmp_path)
+        writer = store.new_writer()
+        admit = {"t": "admit", "engine": "ntp", "addr": "2001:db8::1",
+                 "time": 100.0}
+        writer.append(admit)
+        writer.append({**admit, "time": 100.0 + COOLDOWN / 2})
+        writer.close()
+        report = store.verify()
+        assert not report["ok"]
+        assert report["cooldown_violations"] == 1
+
+    def test_verify_accepts_readmission_after_ttl(self, tmp_path):
+        store = make_store(tmp_path)
+        writer = store.new_writer()
+        admit = {"t": "admit", "engine": "ntp", "addr": "2001:db8::1",
+                 "time": 100.0}
+        writer.append(admit)
+        writer.append({**admit, "time": 100.0 + COOLDOWN})
+        writer.close()
+        assert store.verify()["ok"]
+
+
+class TestStoreWriterUnit:
+    def test_fresh_writer_is_live(self, tmp_path):
+        store = make_store(tmp_path)
+        writer = StoreWriter(store)
+        assert writer.mode == "live"
+        writer.emit(sighting(0))
+        writer.close()
+        assert store.recover().last_seq == 1
+
+    def test_verify_mode_switches_live_at_log_end(self, tmp_path):
+        store = make_store(tmp_path)
+        writer = StoreWriter(store)
+        for i in range(5):
+            writer.emit(sighting(i))
+        writer.close()
+        replay = StoreWriter(store, recovery=store.recover())
+        assert replay.mode == "verify"
+        for i in range(5):
+            replay.emit(sighting(i))
+        assert replay.mode == "live"
+        replay.emit(sighting(5))
+        replay.close()
+        assert store.recover().last_seq == 6
+
+    def test_divergent_replay_raises(self, tmp_path):
+        store = make_store(tmp_path)
+        writer = StoreWriter(store)
+        writer.emit(sighting(0))
+        writer.close()
+        replay = StoreWriter(store, recovery=store.recover())
+        with pytest.raises(WalError, match="diverged"):
+            replay.emit(sighting(99))
+
+    def test_short_replay_fails_loudly_on_close(self, tmp_path):
+        store = make_store(tmp_path)
+        writer = StoreWriter(store)
+        writer.emit(sighting(0))
+        writer.emit(sighting(1))
+        writer.close()
+        replay = StoreWriter(store, recovery=store.recover())
+        replay.emit(sighting(0))
+        with pytest.raises(WalError, match="log continues"):
+            replay.close()
+
+    def test_fault_hook_sees_durability_points(self, tmp_path):
+        store = make_store(tmp_path)
+        points = []
+        with fault_injection(lambda point, seq, acked:
+                             points.append(point)):
+            writer = StoreWriter(store)
+            writer.emit(sighting(0))
+            writer.emit(sighting(1))  # fsync_every=2 → batch syncs
+            writer.close()
+        assert "pre-append" in points and "post-append" in points
+        assert "pre-fsync" in points and "post-fsync" in points
+
+
+class TestIncrementalReader:
+    def test_refresh_folds_only_the_new_tail(self, tmp_path):
+        store = make_store(tmp_path)
+        writer = StoreWriter(store)
+        writer.emit(sighting(0))
+        writer.mark("lead", 1, 86400.0, {"ntp": 1})
+        writer.close()
+        reader = read_study(store.run_dir)
+        assert reader.sightings == 1
+        assert reader.scan("ntp").targets_seen == 1
+
+        recovery = store.recover()
+        append = store.writer_for_append(recovery)
+        append.append(sighting(1))
+        append.append({"t": "mark", "phase": "lead", "day": 2,
+                       "clock": 2 * 86400.0, "targets": {"ntp": 2}})
+        append.close()
+        assert reader.refresh() == 2  # only the two new records
+        assert reader.sightings == 2
+        assert reader.scan("ntp").targets_seen == 2
+
+
+class TestStoreCli:
+    @pytest.fixture()
+    def run_dir(self, tmp_path):
+        store = make_store(tmp_path)
+        writer = store.new_writer()
+        rng = random.Random(11)
+        for i in range(10):
+            writer.append(sighting(rng.randrange(1 << 32)))
+        writer.sync()
+        store.write_checkpoint(Checkpoint(seq=writer.last_seq,
+                                          chain=writer.chain, state={}))
+        writer.close()
+        return str(store.run_dir)
+
+    def test_inspect(self, run_dir, capsys):
+        assert main(["store", "inspect", run_dir]) == 0
+        out = capsys.readouterr().out
+        assert "segments: 3" in out
+        assert "checkpoints: 1" in out
+
+    def test_inspect_json(self, run_dir, capsys):
+        assert main(["store", "inspect", run_dir,
+                     "--format", "json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["segments"] == 3
+        assert document["latest_checkpoint_seq"] == 10
+
+    def test_verify_ok(self, run_dir, capsys):
+        assert main(["store", "verify", run_dir]) == 0
+        assert capsys.readouterr().out.startswith("OK")
+
+    def test_verify_corrupt_exits_one(self, run_dir, capsys):
+        store = RunStore.open(run_dir)
+        segment = list_segments(store.wal_dir)[0]
+        lines = segment.read_text().splitlines()
+        lines[1] = lines[1].replace("sighting", "sabotage")
+        segment.write_text("\n".join(lines) + "\n")
+        assert main(["store", "verify", run_dir]) == 1
+        assert "CORRUPT" in capsys.readouterr().out
+
+    def test_compact(self, run_dir, capsys):
+        assert main(["store", "compact", run_dir]) == 0
+        assert "compacted 2 segments" in capsys.readouterr().out
+        assert main(["store", "verify", run_dir]) == 0
+
+    def test_open_error_exits_two(self, tmp_path, capsys):
+        assert main(["store", "inspect", str(tmp_path)]) == 2
+        assert "not a run store" in capsys.readouterr().err
+
+    def test_analyze_config_needs_a_source(self, capsys):
+        assert main(["analyze"]) == 2
+        assert "analyze needs both" in capsys.readouterr().err

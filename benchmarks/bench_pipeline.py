@@ -1,5 +1,6 @@
 """End-to-end pipeline cost: one full (small) study per round."""
 
+import os
 import random
 import time
 
@@ -10,10 +11,11 @@ from repro.ipv6 import parse
 from repro.net.simnet import Network
 from repro.obs import Histogram, use_registry
 from repro.report import fmt_int, shape_check
+from repro.runtime.parallel import ParallelShardedScanEngine
 from repro.runtime.sharding import ShardedScanEngine
 from repro.scan.engine import EngineConfig
 from repro.world import devices as dev
-from repro.world.population import WorldConfig
+from repro.world.population import WorldConfig, build_world
 
 
 def _small_study(shards=1):
@@ -150,6 +152,102 @@ def test_pipeline_sharded_vs_single(benchmark):
     })
     assert identical
     assert sharded.hitlist_scan.targets_seen == single.hitlist_scan.targets_seen
+
+
+def _sweep_scan(shards, workers):
+    """One embedded-mode batch scan at a shard × worker configuration.
+
+    A fresh world per call: cool-down state must not leak between
+    configurations, and every mode must scan identical untouched
+    service state.  ``workers=0`` is the in-process sequential
+    reference.  Wall clock, not cpu time — the pool's entire value is
+    elapsed time, and its spawn/snapshot overhead must count against it.
+    """
+    world = build_world(WorldConfig(seed=20240720, scale=0.1))
+    hosts = sorted(world.network._hosts)
+    targets = hosts + [address ^ 0xDEAD for address in hosts]
+    config = EngineConfig(drive_clock=False, seed=0x5EED)
+    source = parse("2001:db8:5c::1")
+    with use_registry() as registry:
+        if workers == 0:
+            engine = ShardedScanEngine(world.network, source, config,
+                                       shards=shards, name="sweep")
+        else:
+            engine = ParallelShardedScanEngine(
+                world.network, source, config,
+                shards=shards, workers=workers, name="sweep")
+        start = time.perf_counter()
+        results = engine.run(targets, label="sweep")
+        elapsed = time.perf_counter() - start
+    return elapsed, results, registry
+
+
+def test_parallel_worker_sweep(benchmark):
+    """Sequential vs multiprocess shard execution: speedup + latency.
+
+    Sweeps workers × shard counts, checks every configuration lands on
+    the sequential reference's responsive sets (the determinism the
+    backend promises), and reports wall-clock speedup.  The >=1.5x
+    speedup gate only arms on machines with >=4 cores — on fewer cores
+    process parallelism cannot win and the sweep documents the
+    overhead instead.
+    """
+    worker_counts = (1, 2, 4, 8)
+    shard_counts = (4, 8)
+    cores = os.cpu_count() or 1
+    rows, latencies = [], {}
+    sequential_elapsed = {}
+
+    for shards in shard_counts:
+        seq_elapsed, seq_results, seq_registry = _sweep_scan(shards, 0)
+        sequential_elapsed[shards] = seq_elapsed
+        rows.append((shards, 0, seq_elapsed, 1.0))
+        latencies[(shards, 0)] = Histogram.merged(
+            [h for _, h in seq_registry.find("probe_seconds")])
+        for workers in worker_counts:
+            elapsed, results, registry = _sweep_scan(shards, workers)
+            identical = all(
+                results.responsive_addresses(protocol)
+                == seq_results.responsive_addresses(protocol)
+                for protocol in seq_results.protocols())
+            assert identical, f"shards={shards} workers={workers}"
+            assert results.targets_seen == seq_results.targets_seen
+            rows.append((shards, workers, elapsed, seq_elapsed / elapsed))
+            latencies[(shards, workers)] = Histogram.merged(
+                [h for _, h in registry.find("probe_seconds")])
+
+    benchmark.pedantic(_sweep_scan, args=(4, 2), rounds=3, iterations=1)
+
+    text = (f"Sequential vs multiprocess shard execution "
+            f"({cores} core(s) available)\n"
+            "  shards  workers  wall s   speedup   probe p50/p99 (s)\n")
+    for shards, workers, elapsed, speedup in rows:
+        latency = latencies[(shards, workers)]
+        mode = "  seq" if workers == 0 else f"{workers:5d}"
+        text += (f"  {shards:6d}  {mode}  {elapsed:7.3f}  {speedup:7.2f}x"
+                 f"   <= {latency.quantile(0.5):g} / "
+                 f"{latency.quantile(0.99):g}\n")
+    text += "\n" + shape_check(
+        "every worker count reproduces the sequential responsive sets",
+        True)
+    speedup_at_4 = next(speedup for shards, workers, _, speedup in rows
+                        if shards == 4 and workers == 4)
+    if cores >= 4:
+        text += "\n" + shape_check(
+            "4 workers reach >=1.5x over sequential (>=4 cores)",
+            speedup_at_4 >= 1.5)
+    else:
+        text += (f"\n[speedup gate skipped: {cores} core(s) < 4; "
+                 f"4-worker speedup observed {speedup_at_4:.2f}x]")
+    write_report("pipeline_parallel_sweep", text)
+
+    benchmark.extra_info.update({
+        "cores": cores,
+        "speedup_4shards_4workers": round(speedup_at_4, 3),
+        "sequential_wall_s_4shards": round(sequential_elapsed[4], 4),
+    })
+    if cores >= 4:
+        assert speedup_at_4 >= 1.5
 
 
 def _driving_scan(shards):

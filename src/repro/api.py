@@ -224,7 +224,13 @@ def study_tables(result: ExperimentResult) -> dict:
                                                  result.hitlist_scan)
     table3 = devicetypes.build_table3(result.ntp_scan, result.hitlist_scan)
     findings = devicetypes.new_or_underrepresented(table3)
-    return {
+    tables: dict = {}
+    if result.parallel is not None:
+        # Wall-clock observability of the worker pool.  Kept out of the
+        # metrics registry (which records simulated time only) and in
+        # its own table so deterministic-parity checks can strip it.
+        tables["parallel"] = result.parallel
+    tables.update({
         "table1": [
             {"label": s.label, "addresses": s.address_count,
              "net48s": s.net48_count, "ases": s.as_count,
@@ -254,7 +260,8 @@ def study_tables(result: ExperimentResult) -> dict:
             "groups": len(findings),
             "devices": sum(count for count, _ in findings.values()),
         },
-    }
+    })
+    return tables
 
 
 def telescope(config: Optional[TelescopeConfig] = None) -> TelescopeResult:

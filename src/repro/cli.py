@@ -113,6 +113,7 @@ def cmd_study(args: argparse.Namespace) -> int:
                 campaign=CampaignConfig(wire_fraction=args.wire),
                 include_rl=not args.no_rl,
                 scan_shards=args.shards,
+                parallel_workers=args.workers,
                 protocols=protocols,
                 store_dir=args.store,
                 checkpoint_days=args.checkpoint_days,
@@ -307,6 +308,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="skip the R&L-style pre-campaign")
     study.add_argument("--shards", type=int, default=1,
                        help="fan scan engines out over N shards (default 1)")
+    study.add_argument("--workers", type=int, default=0,
+                       help="run batch scans in N worker processes "
+                            "(default 0 = sequential; results are "
+                            "byte-identical either way)")
     study.add_argument("--protocols",
                        help="comma-separated probe profile, e.g. ssh,coap "
                             "(default: all eight paper protocols)")

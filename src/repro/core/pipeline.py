@@ -24,6 +24,7 @@ results.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
@@ -59,6 +60,10 @@ class ExperimentConfig:
     #: Fan each scan engine out over N hash-partitioned shards (1 = the
     #: single-engine path).  Embedded-mode results are shard-invariant.
     scan_shards: int = 1
+    #: Execute batch scans (the hitlist campaign) in N worker processes
+    #: (0 = sequential, the default).  Results are byte-identical to a
+    #: sequential run; silently capped at the machine's CPU count.
+    parallel_workers: int = 0
     #: Restrict the campaign's probe profile to these protocols (None =
     #: the paper's full eight-protocol registry).
     protocols: Optional[Tuple[str, ...]] = None
@@ -77,6 +82,15 @@ class ExperimentConfig:
         if self.scan_shards < 1:
             raise ValueError(
                 f"scan_shards={self.scan_shards}: must be >= 1")
+        if self.parallel_workers < 0:
+            raise ValueError(
+                f"parallel_workers={self.parallel_workers}: must be >= 0 "
+                "(0 runs scans sequentially)")
+        cpus = os.cpu_count() or 1
+        if self.parallel_workers > cpus:
+            # More workers than cores only adds spawn cost; results are
+            # worker-count-invariant, so capping is behaviour-neutral.
+            self.parallel_workers = cpus
         if self.checkpoint_days < 1:
             raise ValueError(
                 f"checkpoint_days={self.checkpoint_days}: must be >= 1")
@@ -108,6 +122,9 @@ class ExperimentResult:
     config: ExperimentConfig
     #: The run's metrics registry (every stage/scheduler/probe series).
     metrics: Optional[MetricsRegistry] = None
+    #: Wall-clock timing of the parallel batch scan (None when the run
+    #: was sequential): worker count plus per-shard wall/cpu seconds.
+    parallel: Optional[dict] = None
 
     def comparison(self) -> DatasetComparison:
         """The Table 1 comparator over every dataset in this run."""
@@ -152,8 +169,21 @@ def _scanner_source(world: World) -> int:
 
 
 def _build_engine(world: World, source: int, config: EngineConfig,
-                  registry: ProbeRegistry, shards: int, name: str):
-    """One scan engine — sharded when the experiment asks for it."""
+                  registry: ProbeRegistry, shards: int, name: str,
+                  workers: int = 0):
+    """One scan engine — sharded and/or multiprocess when asked for.
+
+    ``workers > 0`` wraps the sharded engine in the multiprocess batch
+    backend: per-target feeds (the real-time path) stay in-process,
+    while ``run`` — the hitlist campaign — fans shards out to a worker
+    pool with byte-identical merged results.
+    """
+    if workers > 0:
+        from repro.runtime.parallel import ParallelShardedScanEngine
+
+        return ParallelShardedScanEngine(
+            world.network, source, config, registry=registry,
+            shards=shards, workers=workers, name=name)
     if shards > 1:
         return ShardedScanEngine(world.network, source, config,
                                  registry=registry, shards=shards, name=name)
@@ -235,6 +265,7 @@ def experiment_config_from_document(document: dict, *,
         final_days=document["final_days"],
         scan_seed=document["scan_seed"],
         scan_shards=document["scan_shards"],
+        parallel_workers=document.get("parallel_workers", 0),
         protocols=tuple(protocols) if protocols is not None else None,
         store_dir=store_dir if store_dir is not None
         else document.get("store_dir"),
@@ -312,6 +343,7 @@ def _run_experiment(config: ExperimentConfig,
         world, scanner_source,
         EngineConfig(drive_clock=False, seed=config.scan_seed),
         registry, config.scan_shards, name="ntp",
+        workers=config.parallel_workers,
     )
     queue = RealTimeScanQueue(engine)
     campaign = CollectionCampaign(world, config.campaign, scan_queue=queue)
@@ -343,11 +375,18 @@ def _run_experiment(config: ExperimentConfig,
         world, scanner_source,
         EngineConfig(drive_clock=False, seed=config.scan_seed ^ 0xFF),
         registry, config.scan_shards, name="hitlist",
+        workers=config.parallel_workers,
     )
     if writer is not None:
         hitlist_engine.attach_store(writer, label="hitlist")
         engines.append(hitlist_engine)
     hitlist_scan = hitlist_engine.run(sorted(hitlist.full), label="hitlist")
+    parallel_timing = None
+    if config.parallel_workers > 0:
+        parallel_timing = {
+            "workers": config.parallel_workers,
+            "hitlist": hitlist_engine.last_run_timing,
+        }
 
     if writer is not None:
         writer.mark("done", 0, world.clock.now(),
@@ -365,4 +404,5 @@ def _run_experiment(config: ExperimentConfig,
         rl_dataset=rl_dataset,
         campaign=campaign,
         config=config,
+        parallel=parallel_timing,
     )

@@ -222,6 +222,12 @@ class Network:
     def host_count(self) -> int:
         return len(self._hosts)
 
+    @property
+    def tap_count(self) -> int:
+        """Attached passive observers (the parallel scan backend refuses
+        to run when taps would miss the workers' traffic)."""
+        return len(self._taps)
+
     def add_tap(self, tap: Tap) -> None:
         """Attach a passive observer to every delivery attempt."""
         self._taps.append(tap)

@@ -233,3 +233,15 @@ class AmqpBrokerSession:
                 reply_code=ACCESS_REFUSED, reply_text="ACCESS_REFUSED"
             ).encode()
         return None
+
+
+@dataclass(frozen=True)
+class AmqpSessionFactory:
+    """Picklable factory producing :class:`AmqpBrokerSession` instances
+    (see :class:`repro.proto.http.HttpSessionFactory` for why services
+    are bound as factory objects, not closures)."""
+
+    require_auth: bool
+
+    def __call__(self) -> AmqpBrokerSession:
+        return AmqpBrokerSession(require_auth=self.require_auth)

@@ -162,3 +162,26 @@ class HttpServerSession:
         )
         self.closed = True  # connection: close semantics
         return response.encode()
+
+
+@dataclass(frozen=True)
+class HttpSessionFactory:
+    """Picklable factory producing :class:`HttpServerSession` instances.
+
+    Device models and the parallel scan backend bind TCP services as
+    *factory objects* rather than closures: a factory captures only the
+    session's configuration, so a host's service surface survives a
+    pickle round trip into a worker process.
+    """
+
+    title: Optional[str]
+    status: int = 200
+    server: str = "sim-httpd/1.0"
+    body_extra: str = ""
+    requires_host: bool = False
+
+    def __call__(self) -> HttpServerSession:
+        return HttpServerSession(self.title, status=self.status,
+                                 server=self.server,
+                                 body_extra=self.body_extra,
+                                 requires_host=self.requires_host)

@@ -190,3 +190,15 @@ class MqttBrokerSession:
             return ConnackPacket(return_code=ACCEPTED).encode()
         self.closed = True
         return ConnackPacket(return_code=REFUSED_BAD_CREDENTIALS).encode()
+
+
+@dataclass(frozen=True)
+class MqttSessionFactory:
+    """Picklable factory producing :class:`MqttBrokerSession` instances
+    (see :class:`repro.proto.http.HttpSessionFactory` for why services
+    are bound as factory objects, not closures)."""
+
+    require_auth: bool
+
+    def __call__(self) -> MqttBrokerSession:
+        return MqttBrokerSession(require_auth=self.require_auth)

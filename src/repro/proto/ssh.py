@@ -170,3 +170,16 @@ def debian_patch_level(identification: SshIdentification) -> Optional[Tuple[str,
     if not match:
         return None
     return match.group("upstream"), match.group("patch")
+
+
+@dataclass(frozen=True)
+class SshSessionFactory:
+    """Picklable factory producing :class:`SshServerSession` instances
+    (see :class:`repro.proto.http.HttpSessionFactory` for why services
+    are bound as factory objects, not closures)."""
+
+    identification: SshIdentification
+    host_key: KeyIdentity
+
+    def __call__(self) -> SshServerSession:
+        return SshServerSession(self.identification, self.host_key)

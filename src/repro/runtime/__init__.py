@@ -27,7 +27,12 @@ from repro.runtime.stage import BoundedQueue, Stage, StageStats
 #: itself imports repro.runtime.registry — importing it eagerly here
 #: would close an import cycle through this package's __init__.
 _LAZY = {"ShardedScanEngine": "repro.runtime.sharding",
-         "shard_of": "repro.runtime.sharding"}
+         "shard_of": "repro.runtime.sharding",
+         "ParallelShardedScanEngine": "repro.runtime.parallel",
+         "ParallelExecutionError": "repro.runtime.parallel",
+         "WorkerCrashed": "repro.runtime.parallel",
+         "NetworkView": "repro.runtime.snapshot",
+         "SnapshotError": "repro.runtime.snapshot"}
 
 
 def __getattr__(name):
@@ -45,12 +50,17 @@ __all__ = [
     "DEFAULT_PACKET_COST",
     "Event",
     "EventBus",
+    "NetworkView",
+    "ParallelExecutionError",
+    "ParallelShardedScanEngine",
     "ProbeRegistry",
     "ProbeSpec",
     "ShardedScanEngine",
+    "SnapshotError",
     "Stage",
     "StageStats",
     "TargetScanned",
+    "WorkerCrashed",
     "default_registry",
     "shard_of",
 ]

@@ -1,0 +1,437 @@
+"""Multiprocess shard execution for the scan runtime.
+
+:class:`ShardedScanEngine` promised "trivially parallelizable later";
+this module cashes that cheque.  :class:`ParallelShardedScanEngine`
+keeps the sharded engine's exact external contract but executes each
+shard's batch of :meth:`run` targets in a worker process:
+
+1. targets are partitioned by the same
+   :func:`~repro.runtime.sharding.shard_of` hash, tagged with their
+   global arrival index;
+2. every non-empty shard becomes a picklable :class:`ShardTask` — the
+   shard's :class:`~repro.scan.engine.EngineConfig` (per-shard seed),
+   probe registry, ethics policy, prior cool-down map, and a
+   :class:`~repro.runtime.snapshot.NetworkView` of the shard's targets.
+   Workers never share live simnet objects: they rebuild a private
+   network and engine from the task (spawn-safe by construction);
+3. worker outcomes merge back **in shard order**: result buckets via
+   :meth:`ScanResults.merged`, stats and cool-down state into the
+   parent's shard engines, each worker's fresh
+   :class:`~repro.obs.metrics.MetricsRegistry` via
+   :meth:`MetricsRegistry.merge`, and store events replayed in global
+   arrival order through the shard engines' existing WAL sinks.
+
+Determinism argument: in embedded mode (``drive_clock=False``) a scan
+neither advances the shared clock nor consumes engine rng (politeness
+jitter is driving-mode only), and with ``loss_rate == 0`` probes do not
+consume network rng either — so each target's probe outcome depends
+only on (target, registry, service state).  Partitioning is pure,
+merging is ordered, and the arrival-index replay reproduces the exact
+interleaving a sequential run logs.  The engine therefore *refuses*
+configurations that would silently break parity: driving-mode clocks,
+lossy networks, and networks with taps (workers' traffic would bypass
+them).
+
+Wall-clock timing (per-shard wall/cpu, pool and merge time) is exposed
+on :attr:`ParallelShardedScanEngine.last_run_timing` and flows into the
+RunReport's ``parallel`` table — never into the metrics registry, which
+records simulated-time, deterministic series only.  Registry series
+added by this backend (batch sizes, run counts) carry a ``parallel_``
+name prefix so parity harnesses can filter them.
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from multiprocessing import get_context
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.obs.metrics import COUNT_BUCKETS, MetricsRegistry, \
+    current_registry, use_registry
+from repro.runtime.registry import ProbeRegistry
+from repro.runtime.sharding import ShardedScanEngine, shard_of
+from repro.runtime.snapshot import NetworkView
+from repro.scan.engine import EngineConfig, EngineStats, ScanEngine
+from repro.scan.ethics import EthicsPolicy
+from repro.scan.result import ScanResults
+
+#: Spawn is the only start method that is safe everywhere (no inherited
+#: locks/fds) and it forces the no-shared-state worker design honest.
+DEFAULT_START_METHOD = "spawn"
+
+#: Test hook: ``"<shard>:<position>"`` hard-kills the worker processing
+#: that shard right before it feeds its ``position``-th target.
+CRASH_ENV = "REPRO_PARALLEL_CRASH"
+
+
+class ParallelExecutionError(RuntimeError):
+    """The requested run cannot execute (correctly) in parallel."""
+
+
+class WorkerCrashed(ParallelExecutionError):
+    """A worker process died mid-batch (segfault, OOM-kill, os._exit).
+
+    ``shards`` lists the shard indices whose results were lost — the
+    pool breaks as a unit, so this typically names every in-flight
+    shard, not just the one whose worker died.  No partial state has
+    been merged and no store records have been written for this run, so
+    a store-backed study resumes cleanly from its surviving log.
+    """
+
+    def __init__(self, shards: Iterable[int], message: str) -> None:
+        super().__init__(message)
+        self.shards: Tuple[int, ...] = tuple(shards)
+
+
+@dataclass
+class ShardTask:
+    """Everything one worker needs to scan one shard, by value."""
+
+    shard: int
+    engine_name: str
+    label: str
+    source: int
+    config: EngineConfig
+    registry: ProbeRegistry
+    ethics: Optional[EthicsPolicy]
+    view: NetworkView
+    #: ``(global_arrival_index, target)`` in arrival order.
+    targets: List[Tuple[int, int]]
+    cooldown: Dict[int, float]
+
+
+@dataclass
+class ShardOutcome:
+    """One worker's complete, picklable result."""
+
+    shard: int
+    results: ScanResults
+    stats: EngineStats
+    cooldown: Dict[int, float]
+    metrics: MetricsRegistry
+    #: ``(arrival, "admit", target, now)`` / ``(arrival, "grab", grab)``
+    #: in scan order — replayed by the parent for WAL byte-identity.
+    events: List[tuple]
+    suppressed: int
+    wall_seconds: float
+    cpu_seconds: float
+
+
+def _maybe_crash(shard: int, position: int) -> None:
+    spec = os.environ.get(CRASH_ENV)
+    if not spec:
+        return
+    crash_shard, _, crash_position = spec.partition(":")
+    if int(crash_shard) == shard and int(crash_position or 0) == position:
+        # A hard exit, not an exception: models the worker *dying*
+        # (the failure mode ProcessPoolExecutor reports as a broken
+        # pool), which an exception-based fault could not.
+        os._exit(70)
+
+
+def scan_shard(task: ShardTask) -> ShardOutcome:
+    """Worker entry point: rebuild the shard's engine and scan its batch.
+
+    Must stay a module-level function — spawn pickles it by reference.
+    """
+    wall_start = time.perf_counter()
+    cpu_start = time.process_time()
+    network = task.view.build()
+    registry = MetricsRegistry()
+    events: List[tuple] = []
+    # The hooks close over the arrival cursor so every admit/grab event
+    # carries the global arrival index of the target that produced it.
+    cursor = [0]
+    suppressed_before = task.ethics.suppressed if task.ethics else 0
+    with use_registry(registry):
+        engine = ScanEngine(network, task.source, task.config, task.ethics,
+                            task.registry, name=task.engine_name)
+        engine.scheduler.load_cooldown(task.cooldown)
+        engine.scheduler.admit_hook = \
+            lambda target, now: events.append((cursor[0], "admit", target, now))
+        engine.executor.grab_hook = \
+            lambda grab: events.append((cursor[0], "grab", grab))
+        results = ScanResults(label=task.label)
+        for position, (arrival, target) in enumerate(task.targets):
+            _maybe_crash(task.shard, position)
+            cursor[0] = arrival
+            engine.feed(target, results)
+    suppressed = (engine.ethics.suppressed - suppressed_before
+                  if engine.ethics else 0)
+    return ShardOutcome(
+        shard=task.shard,
+        results=results,
+        stats=engine.stats,
+        cooldown=engine.scheduler.cooldown_state(),
+        metrics=registry,
+        events=events,
+        suppressed=suppressed,
+        wall_seconds=time.perf_counter() - wall_start,
+        cpu_seconds=time.process_time() - cpu_start,
+    )
+
+
+class ParallelShardedScanEngine:
+    """A :class:`ShardedScanEngine` whose ``run`` fans shards out to a
+    process pool.
+
+    Drop-in for the sequential sharded engine: ``feed``/``scan_address``
+    stay in-process (they are per-target calls on the live network and
+    the real-time queue's path), while :meth:`run` — the batch entry
+    point — executes shards in ``workers`` processes and merges the
+    outcomes so every observable (results, stats, cool-down maps,
+    metrics, WAL records) is byte-identical to a sequential run.
+    """
+
+    def __init__(self, network, source: int,
+                 config: Optional[EngineConfig] = None,
+                 ethics: Optional[EthicsPolicy] = None,
+                 registry: Optional[ProbeRegistry] = None,
+                 *, shards: int = 4, workers: int = 1,
+                 name: str = "engine",
+                 start_method: Optional[str] = None) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self._inner = ShardedScanEngine(network, source, config, ethics,
+                                        registry, shards=shards, name=name)
+        self.workers = int(workers)
+        self.start_method = start_method or os.environ.get(
+            "REPRO_PARALLEL_START_METHOD", DEFAULT_START_METHOD)
+        #: Wall-clock observability of the most recent :meth:`run` —
+        #: deliberately *not* registry metrics (see module docstring).
+        self.last_run_timing: Optional[dict] = None
+        # Bind parallel-only instruments to the registry active at
+        # construction time, exactly like the shard engines bind theirs.
+        self._metrics = current_registry()
+        self._m_runs = self._metrics.counter("parallel_runs_total", engine=name)
+        self._m_targets = self._metrics.counter("parallel_targets_total",
+                                                engine=name)
+
+    # -- delegation (the ScanEngine/ShardedScanEngine contract) -----------
+
+    @property
+    def network(self):
+        return self._inner.network
+
+    @property
+    def source(self) -> int:
+        return self._inner.source
+
+    @property
+    def config(self) -> EngineConfig:
+        return self._inner.config
+
+    @property
+    def ethics(self) -> Optional[EthicsPolicy]:
+        return self._inner.ethics
+
+    @property
+    def registry(self) -> ProbeRegistry:
+        return self._inner.registry
+
+    @property
+    def shards(self) -> int:
+        return self._inner.shards
+
+    @property
+    def name(self) -> str:
+        return self._inner.name
+
+    @property
+    def engines(self) -> List[ScanEngine]:
+        return self._inner.engines
+
+    @property
+    def stats(self) -> EngineStats:
+        return self._inner.stats
+
+    @property
+    def tracked_targets(self) -> int:
+        return self._inner.tracked_targets
+
+    def engine_for(self, target: int) -> ScanEngine:
+        return self._inner.engine_for(target)
+
+    def attach_store(self, writer, *, label: str) -> None:
+        self._inner.attach_store(writer, label=label)
+
+    def cooldown_snapshots(self):
+        return self._inner.cooldown_snapshots()
+
+    def scan_address(self, target: int):
+        return self._inner.scan_address(target)
+
+    def feed(self, target: int, results: ScanResults) -> bool:
+        return self._inner.feed(target, results)
+
+    # -- the parallel batch path ------------------------------------------
+
+    def _check_parallel_safe(self) -> None:
+        if self.config.drive_clock:
+            raise ParallelExecutionError(
+                "drive_clock=True: driving-mode engines advance a shared "
+                "clock and consume politeness rng, which workers cannot "
+                "interleave deterministically; use embedded mode "
+                "(drive_clock=False) or the sequential ShardedScanEngine")
+        network = self.network
+        if network.loss_rate > 0:
+            raise ParallelExecutionError(
+                f"loss_rate={network.loss_rate}: lossy networks draw from "
+                "a shared rng stream, so per-worker replicas would "
+                "diverge from a sequential run; scan sequentially")
+        if network.tap_count:
+            raise ParallelExecutionError(
+                f"network has {network.tap_count} tap(s): worker traffic "
+                "runs on private network replicas the taps cannot "
+                "observe; detach taps or scan sequentially")
+
+    def run(self, targets: Iterable[int], label: str = "") -> ScanResults:
+        """Scan a target list across the worker pool; merged results are
+        byte-identical to :meth:`ShardedScanEngine.run` on the same
+        targets."""
+        self._check_parallel_safe()
+        targets = list(targets)
+        self._m_runs.inc()
+        self._m_targets.inc(len(targets))
+
+        partition: List[List[Tuple[int, int]]] = \
+            [[] for _ in range(self.shards)]
+        for arrival, target in enumerate(targets):
+            partition[shard_of(target, self.shards)].append((arrival, target))
+        for index, batch in enumerate(partition):
+            self._metrics.histogram("parallel_batch_targets",
+                                    buckets=COUNT_BUCKETS,
+                                    engine=self.name,
+                                    shard=str(index)).observe(len(batch))
+
+        tasks = [
+            ShardTask(
+                shard=index,
+                engine_name=engine.name,
+                label=f"{label}/shard{index}",
+                source=self.source,
+                config=engine.config,
+                registry=self.registry,
+                ethics=self.ethics,
+                view=NetworkView.capture(self.network,
+                                         (target for _, target in batch)),
+                targets=batch,
+                cooldown=engine.scheduler.cooldown_state(),
+            )
+            for index, (engine, batch) in
+            enumerate(zip(self._inner.engines, partition)) if batch
+        ]
+
+        outcomes: Dict[int, ShardOutcome] = {}
+        pool_start = time.perf_counter()
+        if tasks:
+            context = get_context(self.start_method)
+            crashed: List[int] = []
+            with ProcessPoolExecutor(max_workers=min(self.workers, len(tasks)),
+                                     mp_context=context) as pool:
+                futures = [(task.shard, pool.submit(scan_shard, task))
+                           for task in tasks]
+                for shard, future in futures:
+                    try:
+                        outcomes[shard] = future.result()
+                    except BrokenProcessPool:
+                        crashed.append(shard)
+            if crashed:
+                raise WorkerCrashed(
+                    crashed,
+                    f"worker pool broke while scanning shard(s) "
+                    f"{crashed} of engine {self.name!r}; no partial "
+                    "results were merged")
+        pool_seconds = time.perf_counter() - pool_start
+
+        merge_start = time.perf_counter()
+        results = self._merge(outcomes, partition, label)
+        merge_seconds = time.perf_counter() - merge_start
+
+        busy = sum(outcome.wall_seconds for outcome in outcomes.values())
+        self.last_run_timing = {
+            "workers": self.workers,
+            "start_method": self.start_method,
+            "targets": len(targets),
+            "pool_wall_seconds": pool_seconds,
+            "merge_wall_seconds": merge_seconds,
+            "busy_wall_seconds": busy,
+            "idle_wall_seconds": max(0.0, self.workers * pool_seconds - busy),
+            "shards": [
+                {
+                    "shard": index,
+                    "targets": len(partition[index]),
+                    "wall_seconds": outcomes[index].wall_seconds
+                    if index in outcomes else 0.0,
+                    "cpu_seconds": outcomes[index].cpu_seconds
+                    if index in outcomes else 0.0,
+                }
+                for index in range(self.shards)
+            ],
+        }
+        return results
+
+    def _merge(self, outcomes: Dict[int, ShardOutcome],
+               partition: List[List[Tuple[int, int]]],
+               label: str) -> ScanResults:
+        """Fold worker outcomes into the parent, in shard order."""
+        parts: List[ScanResults] = []
+        suppressed = 0
+        for index in range(self.shards):
+            outcome = outcomes.get(index)
+            if outcome is None:
+                # Empty shard: same placeholder the sequential run makes.
+                parts.append(ScanResults(label=f"{label}/shard{index}"))
+                continue
+            engine = self._inner.engines[index]
+            engine.scheduler.load_cooldown(outcome.cooldown)
+            stats = engine.stats
+            delta = outcome.stats
+            stats.targets_offered += delta.targets_offered
+            stats.targets_scanned += delta.targets_scanned
+            stats.targets_cooled_down += delta.targets_cooled_down
+            stats.probes_sent += delta.probes_sent
+            stats.seconds_waited += delta.seconds_waited
+            stats.cooldown_pruned += delta.cooldown_pruned
+            self._metrics.merge(outcome.metrics)
+            suppressed += outcome.suppressed
+            parts.append(outcome.results)
+        # Every parent shard engine shares one policy object, so the
+        # suppression count folds in exactly once.
+        if self.ethics is not None:
+            self.ethics.suppressed += suppressed
+        self._replay_events(outcomes)
+        return ScanResults.merged(parts, label=label)
+
+    def _replay_events(self, outcomes: Dict[int, ShardOutcome]) -> None:
+        """Re-emit worker admit/grab events through the parent shard
+        engines' store sinks, in global arrival order.
+
+        A sequential run interleaves shards' WAL records in target
+        arrival order; replaying by arrival index reproduces that exact
+        record stream, which is what keeps resume/verify mode-agnostic.
+        Arrival indices are unique per target and a target lives on
+        exactly one shard, so the k-way merge has no ties to break.
+        """
+        engines = self._inner.engines
+        if all(engine.scheduler.admit_hook is None
+               and engine.executor.grab_hook is None for engine in engines):
+            return
+        def tagged(shard: int, events: List[tuple]):
+            return ((event[0], shard, event) for event in events)
+
+        streams = [tagged(shard, outcome.events)
+                   for shard, outcome in sorted(outcomes.items())]
+        for _, shard, event in heapq.merge(*streams, key=lambda item: item[0]):
+            engine = engines[shard]
+            if event[1] == "admit":
+                if engine.scheduler.admit_hook is not None:
+                    engine.scheduler.admit_hook(event[2], event[3])
+            else:
+                if engine.executor.grab_hook is not None:
+                    engine.executor.grab_hook(event[2])

@@ -27,16 +27,24 @@ from repro.scan.engine import EngineConfig, EngineStats, ScanEngine
 from repro.scan.ethics import EthicsPolicy
 from repro.scan.result import ScanResults
 
-#: SplitMix64-style multiplier: spreads structured IPv6 addresses
-#: (shared /64s, strided IIDs) evenly across shards.
+#: SplitMix64 finalizer constants: spread structured IPv6 addresses
+#: (shared /64s, strided IIDs) evenly across shards.  The full
+#: finalizer matters — a single multiply-xorshift left the low output
+#: bits a function of only the low input bits, so 2^32-strided
+#: addresses (not exotic in /96-granular allocations) all landed on one
+#: shard.  The property tests pin the stronger behaviour.
 _HASH_MULTIPLIER = 0x9E3779B97F4A7C15
+_MIX1 = 0xBF58476D1CE4E5B9
+_MIX2 = 0x94D049BB133111EB
 _MASK64 = (1 << 64) - 1
 
 
 def shard_of(address: int, shards: int) -> int:
     """Deterministic shard index of a 128-bit address."""
     mixed = ((address ^ (address >> 64)) * _HASH_MULTIPLIER) & _MASK64
-    mixed ^= mixed >> 29
+    mixed = ((mixed ^ (mixed >> 30)) * _MIX1) & _MASK64
+    mixed = ((mixed ^ (mixed >> 27)) * _MIX2) & _MASK64
+    mixed ^= mixed >> 31
     return mixed % shards
 
 

@@ -1,0 +1,130 @@
+"""Picklable scan-time views of the simulated network.
+
+The parallel scan backend (:mod:`repro.runtime.parallel`) executes each
+shard's probe work in a worker process.  Workers must never share live
+simnet objects with the parent — a :class:`~repro.net.simnet.Network`
+is a web of mutable hosts, taps and rng state — so instead the parent
+captures a :class:`NetworkView`: the minimal, picklable description of
+what the scan's probes can observe for a given target set.
+
+A view holds, per target, the owning host's reachability and service
+surface (service factories are plain dataclasses since the
+factory-object refactor in :mod:`repro.world.devices`), plus the
+aliased /64 wildcard hosts serving any of the targets.  ``build()``
+reconstructs an equivalent network around a fresh
+:class:`~repro.net.clock.VirtualClock` frozen at capture time — in
+embedded mode the engine never advances the clock, so grabs in the
+worker carry byte-identical timestamps to an in-process scan.
+
+Targets with no host are simply absent from the view: the rebuilt
+network answers them with silence, exactly like the original.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List
+
+from repro.net.clock import VirtualClock
+from repro.net.simnet import Host, Network
+
+
+class SnapshotError(TypeError):
+    """A host's service surface cannot be shipped to a worker process."""
+
+
+@dataclass
+class HostSpec:
+    """One host's scan-observable state, by value."""
+
+    address: int
+    reachable: bool
+    tcp_services: Dict[int, object] = field(default_factory=dict)
+    udp_handlers: Dict[int, object] = field(default_factory=dict)
+
+
+def _capture_host(host: Host) -> HostSpec:
+    spec = HostSpec(address=host.address, reachable=host.reachable,
+                    tcp_services=dict(host.tcp_services),
+                    udp_handlers=dict(host.udp_handlers))
+    try:
+        pickle.dumps((spec.tcp_services, spec.udp_handlers))
+    except Exception as exc:
+        raise SnapshotError(
+            f"host {host.address:#x} binds a service that cannot be "
+            f"pickled into a scan worker ({exc}); bind services as "
+            "factory objects (see repro.proto.http.HttpSessionFactory) "
+            "or scan this target set sequentially") from exc
+    return spec
+
+
+@dataclass
+class NetworkView:
+    """A frozen, picklable view of one network for one target set."""
+
+    clock_now: float
+    hosts: Dict[int, HostSpec] = field(default_factory=dict)
+    #: Aliased /64 personalities, keyed by the wildcard prefix.
+    wildcards: Dict[int, HostSpec] = field(default_factory=dict)
+
+    @classmethod
+    def capture(cls, network: Network, targets: Iterable[int]) -> "NetworkView":
+        """Snapshot ``network`` as seen by probes against ``targets``."""
+        view = cls(clock_now=network.clock.now())
+        captured: Dict[int, HostSpec] = {}  # id(host) → spec, dedup
+        for target in targets:
+            host = network.host(target)
+            if host is None:
+                continue
+            spec = captured.get(id(host))
+            if spec is None:
+                spec = _capture_host(host)
+                captured[id(host)] = spec
+            if network.is_wildcard(target):
+                view.wildcards[spec.address >> 64] = spec
+            else:
+                view.hosts[target] = spec
+        return view
+
+    def build(self) -> Network:
+        """Reconstruct an equivalent network around a frozen clock."""
+        network = Network(clock=VirtualClock(self.clock_now))
+        seen: Dict[int, Host] = {}
+        for address, spec in self.hosts.items():
+            host = seen.get(id(spec))
+            if host is None:
+                host = network.add_host(spec.address, reachable=spec.reachable)
+                host.tcp_services.update(spec.tcp_services)
+                host.udp_handlers.update(spec.udp_handlers)
+                seen[id(spec)] = host
+            elif host.address != address:
+                # The same spec served several addresses in the source
+                # network only via a wildcard; direct hosts are 1:1.
+                network._hosts[address] = host
+        for prefix, spec in self.wildcards.items():
+            host = network.add_wildcard_host(prefix << 64,
+                                             reachable=spec.reachable)
+            host.tcp_services.update(spec.tcp_services)
+            host.udp_handlers.update(spec.udp_handlers)
+        return network
+
+    @property
+    def host_count(self) -> int:
+        return len(self.hosts) + len(self.wildcards)
+
+
+def targets_by_shard(targets: Iterable[int],
+                     shards: int) -> List[List[int]]:
+    """Partition targets into per-shard lists, preserving arrival order.
+
+    Import-cycle-free convenience over
+    :func:`repro.runtime.sharding.shard_of` for callers that only need
+    the partition (the parallel backend tags arrival indices itself).
+    """
+    from repro.runtime.sharding import shard_of
+
+    partition: List[List[int]] = [[] for _ in range(shards)]
+    for target in targets:
+        partition[shard_of(target, shards)].append(target)
+    return partition

@@ -19,7 +19,7 @@ from typing import List, Optional, Tuple
 from repro.ipv6 import address as addrmod
 from repro.net.rdns import ReverseDns
 from repro.net.simnet import Network
-from repro.proto.http import HttpServerSession
+from repro.proto.http import HttpSessionFactory
 from repro.proto.tls_session import PlainService
 
 #: The info page's title (what a scanned party's curl would show).
@@ -105,6 +105,6 @@ def publish_scanner_identity(network: Network, source: int,
     host = network.add_host(source, reachable=True)
     if 80 not in host.tcp_services:
         host.bind_tcp(80, PlainService(
-            lambda: HttpServerSession(INFO_TITLE, body_extra=INFO_BODY)))
+            HttpSessionFactory(INFO_TITLE, body_extra=INFO_BODY)))
     if rdns is not None:
         rdns.register(source, ptr_name)

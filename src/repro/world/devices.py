@@ -29,11 +29,11 @@ from typing import Dict, Optional, Sequence, Tuple
 from repro.ipv6 import address as addrmod
 from repro.ipv6 import eui64
 from repro.net.simnet import Network
-from repro.proto.amqp import AmqpBrokerSession
+from repro.proto.amqp import AmqpSessionFactory
 from repro.proto.coap import CoapResourceServer
-from repro.proto.http import HttpServerSession
-from repro.proto.mqtt import MqttBrokerSession
-from repro.proto.ssh import SshIdentification, SshServerSession
+from repro.proto.http import HttpSessionFactory
+from repro.proto.mqtt import MqttSessionFactory
+from repro.proto.ssh import SshIdentification, SshSessionFactory
 from repro.proto.tls_session import PlainService, TlsService
 from repro.tlslib.certificate import Certificate, issue_public, issue_self_signed
 from repro.tlslib.handshake import TlsTerminator
@@ -164,15 +164,18 @@ class Device:
 
     def bind_services(self, host) -> None:
         """Bind this device's service surface onto an arbitrary host
-        (also used to put a CDN personality onto aliased /64s)."""
+        (also used to put a CDN personality onto aliased /64s).
+
+        Services are bound as *picklable factory objects* (not
+        closures), so the parallel scan backend can ship a host's
+        service surface to worker processes by value.
+        """
         if self.web is not None:
             web = self.web
-            host.bind_tcp(PORT_HTTP, PlainService(
-                lambda: HttpServerSession(
-                    web.title, status=web.status, server=web.server_header,
-                    requires_host=web.sni_required,
-                )
-            ))
+            host.bind_tcp(PORT_HTTP, PlainService(HttpSessionFactory(
+                web.title, status=web.status, server=web.server_header,
+                requires_host=web.sni_required,
+            )))
             if web.https:
                 if web.certificate is None:
                     raise ValueError(f"{self.type_name}: https without certificate")
@@ -186,38 +189,34 @@ class Device:
                 )
                 host.bind_tcp(PORT_HTTPS, TlsService(
                     terminator,
-                    lambda: HttpServerSession(
-                        web.title, status=web.status, server=web.server_header,
-                    ),
+                    HttpSessionFactory(web.title, status=web.status,
+                                       server=web.server_header),
                 ))
         if self.ssh is not None:
             ssh = self.ssh
             host.bind_tcp(PORT_SSH, PlainService(
-                lambda: SshServerSession(ssh.identification, ssh.host_key)
-            ))
+                SshSessionFactory(ssh.identification, ssh.host_key)))
         if self.mqtt is not None:
             mqtt = self.mqtt
             host.bind_tcp(PORT_MQTT, PlainService(
-                lambda: MqttBrokerSession(require_auth=mqtt.require_auth)
-            ))
+                MqttSessionFactory(require_auth=mqtt.require_auth)))
             if mqtt.tls:
                 if mqtt.certificate is None:
                     raise ValueError(f"{self.type_name}: mqtts without certificate")
                 host.bind_tcp(PORT_MQTTS, TlsService(
                     TlsTerminator(mqtt.certificate),
-                    lambda: MqttBrokerSession(require_auth=mqtt.require_auth),
+                    MqttSessionFactory(require_auth=mqtt.require_auth),
                 ))
         if self.amqp is not None:
             amqp = self.amqp
             host.bind_tcp(PORT_AMQP, PlainService(
-                lambda: AmqpBrokerSession(require_auth=amqp.require_auth)
-            ))
+                AmqpSessionFactory(require_auth=amqp.require_auth)))
             if amqp.tls:
                 if amqp.certificate is None:
                     raise ValueError(f"{self.type_name}: amqps without certificate")
                 host.bind_tcp(PORT_AMQPS, TlsService(
                     TlsTerminator(amqp.certificate),
-                    lambda: AmqpBrokerSession(require_auth=amqp.require_auth),
+                    AmqpSessionFactory(require_auth=amqp.require_auth),
                 ))
         if self.coap is not None:
             host.bind_udp(PORT_COAP, CoapResourceServer(self.coap.resources))

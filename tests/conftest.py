@@ -27,6 +27,30 @@ sys.dont_write_bytecode = True
 TEST_SCALE = 0.16
 
 
+@pytest.fixture(autouse=True)
+def _no_multiprocessing_leaks():
+    """Fail any test that leaks live worker processes.
+
+    The parallel scan backend owns real OS processes; a test that exits
+    with children still alive (an unclosed pool, an un-joined worker)
+    leaks resources into every later test and hides shutdown bugs.  The
+    pool's context manager joins its workers, so a short grace period
+    only needs to absorb process-exit latency, not real work.
+    """
+    yield
+    import multiprocessing
+    import time
+
+    children = multiprocessing.active_children()
+    if children:
+        deadline = time.monotonic() + 2.0
+        while children and time.monotonic() < deadline:
+            time.sleep(0.05)
+            children = multiprocessing.active_children()
+    assert not children, (
+        f"test leaked live multiprocessing children: {children}")
+
+
 def small_world_config(**overrides) -> WorldConfig:
     defaults = dict(seed=20240720, scale=TEST_SCALE)
     defaults.update(overrides)

@@ -1,0 +1,152 @@
+"""Reusable deterministic-parity harness for the scan execution modes.
+
+The runtime promises that the three execution backends — a single
+:class:`ScanEngine`, a :class:`ShardedScanEngine`, and a
+:class:`ParallelShardedScanEngine` at any worker count — are
+observationally equivalent under a fixed seed.  This module is the one
+place that equivalence is *defined*, so every test that claims parity
+asserts the same thing:
+
+* **study tables** (table1/table2/hit rates/security/device gap) are
+  identical across *all* modes, including the unsharded one;
+* **EngineStats**, **cool-down snapshots**, **merged metric series**
+  and **WAL record streams** are byte-identical between the sharded
+  and parallel backends at equal shard counts.  (The unsharded engine
+  necessarily labels its series/records ``"ntp"`` instead of
+  ``"ntp/shardN"``, so per-series identity is a sharded-vs-parallel
+  claim, not an unsharded one.)
+
+What gets stripped before comparing is as important as what does not:
+``parallel_``-prefixed metric series, the report's ``parallel`` table
+and the ``parallel_workers`` config field exist only in parallel runs
+(wall-clock observability), and are the *only* permitted difference.
+"""
+
+from __future__ import annotations
+
+import copy
+import os
+from dataclasses import asdict
+from pathlib import Path
+
+from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.runtime.parallel import ParallelShardedScanEngine
+from repro.runtime.sharding import ShardedScanEngine
+
+#: Worker counts every parity sweep exercises.  CI's parallel-parity
+#: job pins single counts (``REPRO_PARITY_WORKERS=2`` then ``=4``) so
+#: each pool width gets a full run on a genuinely multi-core runner.
+WORKER_COUNTS = tuple(
+    int(count) for count in
+    os.environ.get("REPRO_PARITY_WORKERS", "1,2,4").split(","))
+
+
+def strip_parallel(document: dict) -> dict:
+    """A report document minus the fields only a parallel run carries."""
+    document = copy.deepcopy(document)
+    document.get("config", {}).pop("parallel_workers", None)
+    document.get("tables", {}).pop("parallel", None)
+    metrics = document.get("metrics", {})
+    for kind, entries in metrics.items():
+        metrics[kind] = [entry for entry in entries
+                         if not entry["name"].startswith("parallel_")]
+    return document
+
+
+def strip_parallel_metrics(registry: MetricsRegistry) -> dict:
+    """A registry snapshot minus ``parallel_``-prefixed series."""
+    snapshot = registry.snapshot()
+    for kind, entries in snapshot.items():
+        snapshot[kind] = [entry for entry in entries
+                          if not entry["name"].startswith("parallel_")]
+    return snapshot
+
+
+def wal_records(run_dir) -> list:
+    """The complete surviving WAL record stream of a run store."""
+    from repro.store.wal import read_all
+
+    records, _ = read_all(Path(run_dir) / "wal")
+    return records
+
+
+# -- engine-level parity ----------------------------------------------------
+
+def run_sharded(make_world, targets, source, config, *, shards,
+                label="parity"):
+    """One sequential sharded scan on a fresh world; the reference."""
+    world = make_world()
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        engine = ShardedScanEngine(world.network, source, config,
+                                   shards=shards, name="parity")
+        results = engine.run(targets, label=label)
+    return {"results": results, "engine": engine, "metrics": registry}
+
+
+def run_parallel(make_world, targets, source, config, *, shards, workers,
+                 label="parity"):
+    """One multiprocess scan on a fresh world, same contract."""
+    world = make_world()
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        engine = ParallelShardedScanEngine(world.network, source, config,
+                                           shards=shards, workers=workers,
+                                           name="parity")
+        results = engine.run(targets, label=label)
+    return {"results": results, "engine": engine, "metrics": registry}
+
+
+def assert_results_equal(expected, actual):
+    """Grab-for-grab equality of two ScanResults (order included)."""
+    assert actual.targets_seen == expected.targets_seen
+    assert actual.protocols() == expected.protocols()
+    for protocol in expected.protocols():
+        assert actual.grabs(protocol) == expected.grabs(protocol), protocol
+
+
+def assert_engine_parity(make_world, targets, source, config, *,
+                         shards=4, worker_counts=WORKER_COUNTS):
+    """Sequential-sharded vs parallel at every worker count.
+
+    ``make_world`` must return a *fresh*, identically seeded world per
+    call — each mode runs on its own replica so no state leaks between
+    comparisons.  Asserts byte-identity of results (grab-for-grab),
+    EngineStats, per-shard cool-down snapshots, and metric series.
+    """
+    reference = run_sharded(make_world, targets, source, config,
+                            shards=shards)
+    for workers in worker_counts:
+        candidate = run_parallel(make_world, targets, source, config,
+                                 shards=shards, workers=workers)
+        context = f"workers={workers}"
+        assert_results_equal(reference["results"], candidate["results"])
+        assert (asdict(candidate["engine"].stats)
+                == asdict(reference["engine"].stats)), context
+        assert (candidate["engine"].cooldown_snapshots()
+                == reference["engine"].cooldown_snapshots()), context
+        assert (strip_parallel_metrics(candidate["metrics"])
+                == strip_parallel_metrics(reference["metrics"])), context
+
+
+# -- study-level parity -----------------------------------------------------
+
+def assert_study_parity(config_factory, *, worker_counts=WORKER_COUNTS):
+    """Full-pipeline parity: ``study(workers=0)`` vs each worker count.
+
+    ``config_factory(workers)`` must return an identically seeded
+    :class:`ExperimentConfig` whose only varying field is
+    ``parallel_workers``.  Compares complete report documents — config,
+    every metric series, every table — after stripping the permitted
+    parallel-only additions.  Returns the mode → StudyResult map so
+    callers can pile on their own assertions.
+    """
+    from repro import api
+
+    runs = {0: api.study(config_factory(0))}
+    reference = strip_parallel(runs[0].report.as_document())
+    for workers in worker_counts:
+        runs[workers] = api.study(config_factory(workers))
+        assert (strip_parallel(runs[workers].report.as_document())
+                == reference), f"workers={workers}"
+    return runs

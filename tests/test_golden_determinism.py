@@ -76,3 +76,17 @@ class TestGoldenDeterminism:
                     == sharded.ntp_scan.responsive_addresses(protocol))
         assert single.hitlist_scan.hit_rate() == \
             pytest.approx(sharded.hitlist_scan.hit_rate())
+
+    def test_parallel_workers_match_seed_commit(self):
+        """The multiprocess backend lands on the seed's golden counts —
+        and its full report is byte-identical to the sequential sharded
+        run's (tests.parity defines and strips the permitted
+        differences)."""
+        from tests import parity
+
+        def config(workers):
+            return _golden_config(scan_shards=4, parallel_workers=workers)
+
+        runs = parity.assert_study_parity(config, worker_counts=(2,))
+        for study in runs.values():
+            _check_counts(study.experiment)

@@ -1,0 +1,334 @@
+"""The multiprocess shard backend: parity, refusals, crash handling.
+
+Every parity claim goes through :mod:`tests.parity` — the shared
+definition of "observationally equivalent" — so this module mostly
+exercises what is *specific* to the parallel backend: the picklable
+network snapshot, the typed refusals for configurations that would
+silently break determinism, worker-death surfacing, and the config/CLI
+plumbing of ``parallel_workers``.
+"""
+
+import os
+from dataclasses import asdict
+
+import pytest
+
+from repro import api, cli
+from repro.ipv6 import parse
+from repro.net.simnet import Network
+from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.runtime.parallel import (
+    CRASH_ENV,
+    ParallelExecutionError,
+    ParallelShardedScanEngine,
+    WorkerCrashed,
+)
+from repro.runtime.sharding import ShardedScanEngine, shard_of
+from repro.runtime.snapshot import NetworkView, SnapshotError
+from repro.scan.engine import EngineConfig, ScanEngine
+from repro.scan.result import ScanResults
+from repro.store.wal import read_all
+from repro.world.population import WorldConfig, build_world
+from tests import parity
+
+SOURCE = parse("2001:db8:5ca7::10")
+
+#: Small but protocol-diverse world; fresh replica per call so every
+#: execution mode scans identical, untouched state.
+WORLD = WorldConfig(seed=20240720, scale=0.02)
+
+
+def make_world():
+    return build_world(WORLD)
+
+
+@pytest.fixture(scope="module")
+def targets():
+    """A deterministic target list: every host plus guaranteed misses."""
+    world = make_world()
+    hosts = sorted(world.network._hosts)
+    return hosts + [address ^ 0xDEAD for address in hosts[:40]]
+
+
+def embedded_config(**overrides):
+    defaults = dict(drive_clock=False, seed=0x7E57)
+    defaults.update(overrides)
+    return EngineConfig(**defaults)
+
+
+class TestEngineParity:
+    def test_parallel_matches_sequential_at_1_2_4_workers(self, targets):
+        parity.assert_engine_parity(make_world, targets, SOURCE,
+                                    embedded_config(), shards=4)
+
+    def test_parallel_single_shard(self, targets):
+        parity.assert_engine_parity(make_world, targets[:60], SOURCE,
+                                    embedded_config(), shards=1,
+                                    worker_counts=(2,))
+
+    def test_more_shards_than_workers_and_vice_versa(self, targets):
+        parity.assert_engine_parity(make_world, targets[:120], SOURCE,
+                                    embedded_config(), shards=8,
+                                    worker_counts=(2, 4))
+
+    def test_empty_target_list(self):
+        world = make_world()
+        engine = ParallelShardedScanEngine(
+            world.network, SOURCE, embedded_config(), shards=4, workers=2)
+        results = engine.run([], label="empty")
+        assert results.targets_seen == 0
+        assert engine.stats.targets_offered == 0
+        assert engine.last_run_timing["targets"] == 0
+
+    def test_cooldown_carries_across_parallel_runs(self, targets):
+        """A second parallel run over the same targets is all cool-down
+        hits — worker cool-down state merged back correctly."""
+        world = make_world()
+        batch = targets[:80]
+        engine = ParallelShardedScanEngine(
+            world.network, SOURCE, embedded_config(), shards=4, workers=2)
+        first = engine.run(batch, label="first")
+        scanned = engine.stats.targets_scanned
+        assert scanned == len(batch)
+        second = engine.run(batch, label="second")
+        assert engine.stats.targets_scanned == scanned
+        assert engine.stats.targets_cooled_down == len(batch)
+        assert first.targets_seen == second.targets_seen == len(batch)
+        assert all(not second.grabs(p) for p in second.protocols())
+
+    def test_feed_and_scan_address_stay_in_process(self, targets):
+        """The per-target contract delegates to the live shard engines
+        (the real-time queue's path never pays pool overhead)."""
+        world = make_world()
+        engine = ParallelShardedScanEngine(
+            world.network, SOURCE, embedded_config(), shards=4, workers=2)
+        results = ScanResults(label="feed")
+        assert engine.feed(targets[0], results)
+        assert not engine.feed(targets[0], results)  # cool-down
+        assert engine.stats.targets_offered == 2
+        grabs = engine.scan_address(targets[1])
+        assert len(grabs) == len(list(engine.registry))
+        # scan_address bypasses admission, so only the fed target cools.
+        assert engine.tracked_targets == 1
+        assert engine.engine_for(targets[0]).name == \
+            f"engine/shard{shard_of(targets[0], 4)}"
+
+    def test_timing_report_shape(self, targets):
+        world = make_world()
+        engine = ParallelShardedScanEngine(
+            world.network, SOURCE, embedded_config(), shards=4, workers=2)
+        engine.run(targets[:100], label="timed")
+        timing = engine.last_run_timing
+        assert timing["workers"] == 2
+        assert len(timing["shards"]) == 4
+        assert sum(entry["targets"] for entry in timing["shards"]) == 100
+        busy = [entry for entry in timing["shards"] if entry["targets"]]
+        assert all(entry["wall_seconds"] > 0 for entry in busy)
+        assert timing["pool_wall_seconds"] > 0
+
+
+class TestRefusals:
+    def test_driving_mode_refused(self):
+        engine = ParallelShardedScanEngine(
+            Network(), SOURCE, EngineConfig(drive_clock=True),
+            shards=2, workers=2)
+        with pytest.raises(ParallelExecutionError, match="drive_clock"):
+            engine.run([parse("2001:db8::1")])
+
+    def test_lossy_network_refused(self):
+        network = Network(loss_rate=0.2)
+        engine = ParallelShardedScanEngine(
+            network, SOURCE, embedded_config(), shards=2, workers=2)
+        with pytest.raises(ParallelExecutionError, match="loss_rate"):
+            engine.run([parse("2001:db8::1")])
+
+    def test_tapped_network_refused(self):
+        network = Network()
+        network.add_tap(lambda record: None)
+        engine = ParallelShardedScanEngine(
+            network, SOURCE, embedded_config(), shards=2, workers=2)
+        with pytest.raises(ParallelExecutionError, match="tap"):
+            engine.run([parse("2001:db8::1")])
+
+    def test_worker_count_validated(self):
+        with pytest.raises(ValueError, match="workers"):
+            ParallelShardedScanEngine(Network(), SOURCE, embedded_config(),
+                                      shards=2, workers=0)
+
+    def test_unpicklable_service_is_a_typed_snapshot_error(self):
+        network = Network()
+        target = parse("2001:db8:bad::1")
+        host = network.add_host(target)
+        witness = object()
+        host.bind_tcp(80, type("Closure", (), {
+            "accept": lambda self, peer, port: witness})())
+        engine = ParallelShardedScanEngine(
+            network, SOURCE, embedded_config(), shards=2, workers=2)
+        with pytest.raises(SnapshotError, match="pickled"):
+            engine.run([target])
+
+
+class TestWorkerCrash:
+    def test_worker_death_surfaces_typed_error(self, targets, monkeypatch):
+        world = make_world()
+        batch = targets[:60]
+        engine = ParallelShardedScanEngine(
+            world.network, SOURCE, embedded_config(), shards=2, workers=2)
+        crash_shard = shard_of(batch[0], 2)
+        monkeypatch.setenv(CRASH_ENV, f"{crash_shard}:0")
+        with pytest.raises(WorkerCrashed) as excinfo:
+            engine.run(batch, label="doomed")
+        assert crash_shard in excinfo.value.shards
+        # Nothing merged: the parent engines are untouched.
+        assert engine.stats.targets_offered == 0
+        assert engine.tracked_targets == 0
+
+    def test_crash_cleared_run_succeeds(self, targets, monkeypatch):
+        world = make_world()
+        engine = ParallelShardedScanEngine(
+            world.network, SOURCE, embedded_config(), shards=2, workers=2)
+        monkeypatch.delenv(CRASH_ENV, raising=False)
+        results = engine.run(targets[:60], label="fine")
+        assert results.targets_seen == 60
+
+
+class TestNetworkView:
+    def test_roundtrip_preserves_observable_behaviour(self, targets):
+        world = make_world()
+        batch = targets[:50]
+        view = NetworkView.capture(world.network, batch)
+        import pickle
+
+        rebuilt = pickle.loads(pickle.dumps(view)).build()
+        assert rebuilt.clock.now() == world.network.clock.now()
+        for address in batch:
+            original = world.network.host(address)
+            replica = rebuilt.host(address)
+            if original is None:
+                assert replica is None
+            else:
+                assert replica.reachable == original.reachable
+                assert set(replica.tcp_services) == \
+                    set(original.tcp_services)
+                assert set(replica.udp_handlers) == \
+                    set(original.udp_handlers)
+
+    def test_wildcards_survive_capture(self):
+        network = Network()
+        prefix = parse("2001:db8:a11a::")
+        network.add_wildcard_host(prefix)
+        inside = [prefix | 1, prefix | 0xFFFF]
+        view = NetworkView.capture(network, inside)
+        rebuilt = view.build()
+        for address in inside:
+            assert rebuilt.host(address) is not None
+            assert rebuilt.is_wildcard(address)
+
+    def test_uncaptured_targets_answer_with_silence(self):
+        network = Network()
+        bound = parse("2001:db8::1")
+        network.add_host(bound)
+        view = NetworkView.capture(network, [bound])
+        rebuilt = view.build()
+        assert rebuilt.host(parse("2001:db8::2")) is None
+
+
+class TestConfigAndCli:
+    def test_negative_workers_rejected(self):
+        from repro.core.pipeline import ExperimentConfig
+
+        with pytest.raises(ValueError, match="parallel_workers"):
+            ExperimentConfig(parallel_workers=-1)
+
+    def test_workers_capped_at_cpu_count(self):
+        from repro.core.pipeline import ExperimentConfig
+
+        config = ExperimentConfig(parallel_workers=10_000)
+        assert config.parallel_workers == (os.cpu_count() or 1)
+
+    def test_config_document_roundtrip(self):
+        import json
+        from dataclasses import asdict as dc_asdict
+
+        from repro.core.pipeline import (
+            ExperimentConfig,
+            experiment_config_from_document,
+        )
+
+        config = ExperimentConfig(parallel_workers=1, scan_shards=4)
+        document = json.loads(json.dumps(dc_asdict(config)))
+        assert experiment_config_from_document(document) == config
+        # Pre-parallel stores have no parallel_workers field: default 0.
+        document.pop("parallel_workers")
+        assert experiment_config_from_document(document).parallel_workers == 0
+
+    def test_cli_workers_flag_reaches_config(self, monkeypatch, capsys):
+        captured = {}
+
+        def fake_study(config):
+            captured["config"] = config
+            from repro.obs.runreport import RunReport
+
+            report = RunReport.build("study", {}, MetricsRegistry(), {})
+            return api.StudyResult(experiment=None, report=report)
+
+        monkeypatch.setattr(api, "study", fake_study)
+        assert cli.main(["study", "--workers", "1",
+                         "--format", "json"]) == 0
+        capsys.readouterr()
+        assert captured["config"].parallel_workers == 1
+
+
+class TestStoreParity:
+    def test_wal_stream_identical_to_sequential(self, tmp_path, targets):
+        """Engine-level WAL byte-identity: admits and grabs land in the
+        same order, under the same engine names, record for record."""
+        from repro.store import RunStore
+        from repro.store.writer import StoreWriter
+
+        batch = targets[:120]
+        streams = {}
+        for mode in ("seq", "par"):
+            world = make_world()
+            store = RunStore.create(tmp_path / mode, config={"seed": 1},
+                                    cooldown_ttl=259_200.0)
+            writer = StoreWriter(store)
+            with use_registry(MetricsRegistry()):
+                if mode == "seq":
+                    engine = ShardedScanEngine(
+                        world.network, SOURCE, embedded_config(),
+                        shards=4, name="parity")
+                else:
+                    engine = ParallelShardedScanEngine(
+                        world.network, SOURCE, embedded_config(),
+                        shards=4, workers=2, name="parity")
+                engine.attach_store(writer, label="parity")
+                engine.run(batch, label="parity")
+            writer.close()
+            streams[mode] = read_all(tmp_path / mode / "wal")[0]
+        assert streams["par"] == streams["seq"]
+        assert len(streams["seq"]) > len(batch)  # admits + grabs
+
+
+class TestStudyParity:
+    """Full-pipeline parity, small scale (the golden-scale sweep lives
+    in test_golden_determinism)."""
+
+    @staticmethod
+    def _config(workers):
+        from repro.core.campaign import CampaignConfig
+        from repro.core.pipeline import ExperimentConfig
+
+        return ExperimentConfig(
+            world=WorldConfig(seed=11, scale=0.03),
+            campaign=CampaignConfig(days=2, wire_fraction=0.0),
+            include_rl=False, gap_days=1, lead_days=2, final_days=1,
+            scan_shards=4, parallel_workers=workers)
+
+    def test_study_reports_identical(self):
+        runs = parity.assert_study_parity(self._config,
+                                          worker_counts=(1, 2))
+        parallel = runs[2]
+        assert parallel.report.tables["parallel"]["hitlist"]["workers"] >= 1
+        assert parallel.experiment.parallel is not None
+        assert asdict(runs[0].experiment.config)["parallel_workers"] == 0

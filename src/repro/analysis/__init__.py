@@ -9,11 +9,13 @@ from repro.analysis import (
     levenshtein,
     lifetime,
     macs,
+    parallel,
     security,
     structure,
 )
 from repro.analysis.devicetypes import DeviceTypeTable, build_table3
 from repro.analysis.levenshtein import TitleClusterer, normalized_distance
+from repro.analysis.parallel import AnalysisBundle, run_analysis
 from repro.analysis.macs import MacReport, analyze_dataset
 from repro.analysis.security import (
     AccessControlReport,
@@ -28,6 +30,7 @@ from repro.analysis.structure import StructureReport, analyze
 
 __all__ = [
     "AccessControlReport",
+    "AnalysisBundle",
     "DeviceTypeTable",
     "MacReport",
     "OutdatednessReport",
@@ -47,6 +50,8 @@ __all__ = [
     "lifetime",
     "macs",
     "normalized_distance",
+    "parallel",
+    "run_analysis",
     "secure_share",
     "security",
     "security_gap",

@@ -16,14 +16,27 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
-from repro.analysis.levenshtein import TitleGroup, cluster_counts
+from repro.analysis.levenshtein import (
+    DEFAULT_THRESHOLD,
+    ClusterStats,
+    TitleGroup,
+    cluster_counts,
+    within,
+)
+from repro.obs import current_registry
 from repro.proto.ssh import SshIdentification, extract_os
 from repro.scan.result import ScanResults
 
-#: Placeholder label for responses without an HTML title.
+#: Placeholder label for responses without an HTML title *tag*.
 NO_TITLE = "(no title present)"
+
+#: Placeholder label for an empty-but-present ``<title></title>``.
+#: Distinct from :data:`NO_TITLE`: a present-but-empty tag is a
+#: different (often device-identifying) behaviour than no tag at all,
+#: so the two must not collapse into one group.
+EMPTY_TITLE = "(empty title)"
 
 #: Table 3's SSH rows.
 SSH_OS_BUCKETS = ("Ubuntu", "Debian", "Raspbian", "FreeBSD", "other/unknown")
@@ -33,6 +46,21 @@ COAP_GROUPS = ("castdevice", "qlink", "efento", "nanoleaf", "empty", "other")
 
 
 # -- HTTP ---------------------------------------------------------------
+
+def _title_label(title: Optional[str]) -> str:
+    """A grab's title as a grouping label.
+
+    ``None`` (no ``<title>`` tag at all) and ``""`` (a present but
+    empty tag) are distinct behaviours and get distinct labels — the
+    seed implementation's ``title or NO_TITLE`` collapsed both into
+    :data:`NO_TITLE`.
+    """
+    if title is None:
+        return NO_TITLE
+    if title == "":
+        return EMPTY_TITLE
+    return title
+
 
 def http_titles_by_certificate(results: ScanResults) -> Dict[bytes, str]:
     """Map each unique certificate to the title it served.
@@ -47,15 +75,27 @@ def http_titles_by_certificate(results: ScanResults) -> Dict[bytes, str]:
             continue
         if grab.tls is None or not grab.tls.ok or grab.tls.fingerprint is None:
             continue
-        titles.setdefault(grab.tls.fingerprint, grab.title or NO_TITLE)
+        titles.setdefault(grab.tls.fingerprint, _title_label(grab.title))
     return titles
 
 
 def http_title_groups(results: ScanResults,
-                      threshold: float = 0.25) -> List[TitleGroup]:
-    """Table 3 (HTTP): title groups weighted by unique certificates."""
+                      threshold: float = 0.25,
+                      dataset: str = "") -> List[TitleGroup]:
+    """Table 3 (HTTP): title groups weighted by unique certificates.
+
+    Clustering work (pairs compared, DP cells, band early-exits, cache
+    hits) is published as ``analysis_*`` counters on the current
+    metrics registry, labeled with ``dataset`` when given.
+    """
     counts = Counter(http_titles_by_certificate(results).values())
-    return cluster_counts(counts.items(), threshold=threshold)
+    stats = ClusterStats()
+    groups = cluster_counts(counts.items(), threshold=threshold, stats=stats)
+    labels = {"table": "table3_http"}
+    if dataset:
+        labels["dataset"] = dataset
+    stats.publish(current_registry(), **labels)
+    return groups
 
 
 # -- SSH ----------------------------------------------------------------
@@ -155,21 +195,39 @@ class DeviceTypeTable:
     coap_ntp: Mapping[str, int]
     coap_hitlist: Mapping[str, int]
 
-    def http_group_count(self, side: str, representative: str) -> int:
-        """Certificates in the group whose representative matches."""
+    def http_group(self, side: str, representative: str,
+                   threshold: Optional[float] = None) -> Optional[TitleGroup]:
+        """The group a representative title belongs to on one side.
+
+        Matches by representative equality, then by membership, then —
+        when ``threshold`` is given — by the normalized-distance
+        threshold against each group's representative.  Membership
+        matches take precedence over threshold matches so a title that
+        was actually clustered into a group is never re-attributed to
+        a nearer-by-representative neighbour.
+        """
         groups = self.http_ntp if side == "ntp" else self.http_hitlist
         for group in groups:
             if group.representative == representative or \
                     representative in group.members:
-                return group.count
-        return 0
+                return group
+        if threshold is not None:
+            for group in groups:
+                if within(representative, group.representative, threshold):
+                    return group
+        return None
+
+    def http_group_count(self, side: str, representative: str) -> int:
+        """Certificates in the group whose representative matches."""
+        group = self.http_group(side, representative)
+        return group.count if group is not None else 0
 
 
 def build_table3(ntp: ScanResults, hitlist: ScanResults) -> DeviceTypeTable:
     """Compute the full Table 3 from two scan campaigns."""
     return DeviceTypeTable(
-        http_ntp=tuple(http_title_groups(ntp)),
-        http_hitlist=tuple(http_title_groups(hitlist)),
+        http_ntp=tuple(http_title_groups(ntp, dataset="ntp")),
+        http_hitlist=tuple(http_title_groups(hitlist, dataset="hitlist")),
         ssh_ntp=ssh_os_counts(ntp),
         ssh_hitlist=ssh_os_counts(hitlist),
         coap_ntp=coap_group_counts(ntp),
@@ -178,20 +236,31 @@ def build_table3(ntp: ScanResults, hitlist: ScanResults) -> DeviceTypeTable:
 
 
 def new_or_underrepresented(table: DeviceTypeTable,
-                            factor: float = 5.0) -> Dict[str, Tuple[int, int]]:
+                            factor: float = 5.0,
+                            threshold: float = DEFAULT_THRESHOLD,
+                            ) -> Dict[str, Tuple[int, int]]:
     """Device groups the hitlist misses or underrepresents.
 
     Returns ``{group: (ntp_count, hitlist_count)}`` for every HTTP
     title group, SSH OS, and CoAP group where the NTP count exceeds
     ``factor`` × the hitlist count — the basis of the paper's
     "283 867 new or underrepresented devices" headline.
+
+    HTTP matching goes through :meth:`DeviceTypeTable.http_group`:
+    the two sides are clustered independently, so the hitlist group
+    covering an NTP representative may carry a *different*
+    representative — the seed implementation matched representatives
+    exactly and therefore scored such groups as hitlist misses,
+    inflating the headline.  Titleless buckets (:data:`NO_TITLE`,
+    :data:`EMPTY_TITLE`) identify no device type and stay excluded.
     """
     findings: Dict[str, Tuple[int, int]] = {}
-    hit_by_repr = {g.representative: g.count for g in table.http_hitlist}
     for group in table.http_ntp:
-        if group.representative == NO_TITLE:
+        if group.representative in (NO_TITLE, EMPTY_TITLE):
             continue
-        hit = hit_by_repr.get(group.representative, 0)
+        match = table.http_group("hitlist", group.representative,
+                                 threshold=threshold)
+        hit = match.count if match is not None else 0
         if group.count > factor * hit:
             findings[f"http:{group.representative}"] = (group.count, hit)
     for os_name in SSH_OS_BUCKETS[:-1]:

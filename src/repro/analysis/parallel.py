@@ -1,0 +1,284 @@
+"""Parallel analysis driver: the Section-4 tables as a job fan-out.
+
+The Table/Figure computations over a finished pair of scan campaigns
+are mutually independent — each side of Table 3 (HTTP title clustering,
+SSH OS buckets, CoAP resource groups), the Figure-2 SSH outdatedness
+assessment, the Figure-3 broker access-control classification, and the
+Section-6 key-reuse sweep each read only their own slice of the
+immutable :class:`~repro.scan.result.ScanResults`.  This module runs
+them as a fixed, deterministic job list, either inline or across the
+same ``spawn``-safe process pool the PR-4 scan backend uses
+(:mod:`repro.runtime.parallel`).
+
+Determinism argument: every job is a pure function of its pickled
+inputs, each job records into its own fresh
+:class:`~repro.obs.metrics.MetricsRegistry`, and the parent merges the
+job registries **in job-list order** in both execution modes — so the
+assembled :class:`AnalysisBundle` and every ``analysis_*`` metric
+series are byte-identical at any worker count.  The only thing allowed
+to differ is wall-clock observability, which lives in
+:attr:`AnalysisBundle.timing` and never in the metrics registry.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from multiprocessing import get_context
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis import devicetypes, keyreuse, security
+from repro.analysis.devicetypes import DeviceTypeTable
+from repro.analysis.keyreuse import ReuseReport
+from repro.analysis.security import (
+    AccessControlReport,
+    OutdatednessReport,
+    SecureShareReport,
+)
+from repro.obs.metrics import MetricsRegistry, current_registry, use_registry
+from repro.runtime.parallel import DEFAULT_START_METHOD, WorkerCrashed
+from repro.scan.result import ScanResults
+from repro.world.asdb import AsDatabase
+
+#: The two dataset sides every analysis job list covers, in order.
+SIDES = ("ntp", "hitlist")
+
+#: Broker protocol families of Figure 3, in order.
+BROKER_PROTOCOLS = ("mqtt", "amqp")
+
+
+@dataclass
+class AnalysisTask:
+    """One independent table/figure computation, by value.
+
+    Everything a worker needs ships in the task: the (picklable)
+    scan results, the dataset label, and for key reuse the AS
+    database.  ``job`` is unique within one :func:`run_analysis` call
+    and doubles as the merge key.
+    """
+
+    job: str
+    kind: str
+    dataset: str
+    results: ScanResults
+    protocol: Optional[str] = None
+    asdb: Optional[AsDatabase] = None
+
+
+@dataclass
+class AnalysisJobOutcome:
+    """One job's complete, picklable result."""
+
+    job: str
+    value: object
+    metrics: MetricsRegistry
+    wall_seconds: float
+    cpu_seconds: float
+
+
+@dataclass
+class AnalysisBundle:
+    """Every Section-4/6 artefact of one analysis run, merged.
+
+    All fields except :attr:`timing` are deterministic in the inputs;
+    :attr:`timing` is wall-clock observability (per-job wall/cpu
+    seconds, pool totals) and is excluded from every byte-identity
+    guarantee — report builders must keep it out of deterministic
+    tables.
+    """
+
+    table3: DeviceTypeTable
+    ssh: Dict[str, OutdatednessReport]
+    brokers: Dict[Tuple[str, str], AccessControlReport]
+    secure: Dict[str, SecureShareReport]
+    keyreuse: Dict[str, ReuseReport] = field(default_factory=dict)
+    timing: dict = field(default_factory=dict)
+
+    def security_gap(self) -> Tuple[SecureShareReport, SecureShareReport]:
+        """The paper's headline pair: (NTP report, hitlist report)."""
+        return self.secure["ntp"], self.secure["hitlist"]
+
+
+def _job_http_groups(task: AnalysisTask):
+    return tuple(devicetypes.http_title_groups(task.results,
+                                               dataset=task.dataset))
+
+
+def _job_ssh_os(task: AnalysisTask):
+    return devicetypes.ssh_os_counts(task.results)
+
+
+def _job_coap_groups(task: AnalysisTask):
+    return devicetypes.coap_group_counts(task.results)
+
+
+def _job_ssh_outdatedness(task: AnalysisTask):
+    return security.ssh_outdatedness(task.dataset, task.results)
+
+
+def _job_broker(task: AnalysisTask):
+    return security.broker_access_control(task.dataset, task.results,
+                                          task.protocol)
+
+
+def _job_keyreuse(task: AnalysisTask):
+    return keyreuse.analyze(task.dataset, task.results, task.asdb)
+
+
+_JOB_KINDS = {
+    "http_groups": _job_http_groups,
+    "ssh_os": _job_ssh_os,
+    "coap_groups": _job_coap_groups,
+    "ssh_outdatedness": _job_ssh_outdatedness,
+    "broker": _job_broker,
+    "keyreuse": _job_keyreuse,
+}
+
+
+def analysis_tasks(ntp: ScanResults, hitlist: ScanResults,
+                   asdb: Optional[AsDatabase] = None) -> List[AnalysisTask]:
+    """The canonical job list, in deterministic merge order."""
+    tasks: List[AnalysisTask] = []
+    for dataset, results in zip(SIDES, (ntp, hitlist)):
+        tasks.append(AnalysisTask(f"table3_http:{dataset}", "http_groups",
+                                  dataset, results))
+        tasks.append(AnalysisTask(f"table3_ssh:{dataset}", "ssh_os",
+                                  dataset, results))
+        tasks.append(AnalysisTask(f"table3_coap:{dataset}", "coap_groups",
+                                  dataset, results))
+        tasks.append(AnalysisTask(f"fig2_ssh:{dataset}", "ssh_outdatedness",
+                                  dataset, results))
+        for protocol in BROKER_PROTOCOLS:
+            tasks.append(AnalysisTask(f"fig3_{protocol}:{dataset}", "broker",
+                                      dataset, results, protocol=protocol))
+        if asdb is not None:
+            tasks.append(AnalysisTask(f"keyreuse:{dataset}", "keyreuse",
+                                      dataset, results, asdb=asdb))
+    return tasks
+
+
+def run_analysis_job(task: AnalysisTask) -> AnalysisJobOutcome:
+    """Worker entry point: run one job under a private registry.
+
+    Must stay a module-level function — spawn pickles it by reference.
+    The sequential path calls it too, so both modes build identical
+    per-job registries and merge them identically.
+    """
+    wall_start = time.perf_counter()
+    cpu_start = time.process_time()
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        value = _JOB_KINDS[task.kind](task)
+        registry.counter("analysis_jobs_total").inc()
+    return AnalysisJobOutcome(
+        job=task.job,
+        value=value,
+        metrics=registry,
+        wall_seconds=time.perf_counter() - wall_start,
+        cpu_seconds=time.process_time() - cpu_start,
+    )
+
+
+def run_analysis(ntp: ScanResults, hitlist: ScanResults, *,
+                 asdb: Optional[AsDatabase] = None,
+                 workers: int = 0,
+                 start_method: Optional[str] = None) -> AnalysisBundle:
+    """Run every analysis job and merge the outcomes deterministically.
+
+    ``workers <= 1`` runs the jobs inline in job-list order;
+    ``workers > 1`` fans them across a ``spawn``-safe process pool.
+    Either way the job registries fold into the current metrics
+    registry in job-list order, so the bundle and all ``analysis_*``
+    series are byte-identical across modes.  Key reuse requires
+    ``asdb`` and is skipped without one (offline re-analysis of saved
+    scan files has no AS database).
+    """
+    if workers < 0:
+        raise ValueError(f"workers must be >= 0, got {workers}")
+    tasks = analysis_tasks(ntp, hitlist, asdb)
+    outcomes: Dict[str, AnalysisJobOutcome] = {}
+    pool_start = time.perf_counter()
+    if workers > 1:
+        method = start_method or os.environ.get(
+            "REPRO_PARALLEL_START_METHOD", DEFAULT_START_METHOD)
+        crashed: List[int] = []
+        with ProcessPoolExecutor(max_workers=min(workers, len(tasks)),
+                                 mp_context=get_context(method)) as pool:
+            futures = [(index, task.job, pool.submit(run_analysis_job, task))
+                       for index, task in enumerate(tasks)]
+            for index, job, future in futures:
+                try:
+                    outcomes[job] = future.result()
+                except BrokenProcessPool:
+                    crashed.append(index)
+        if crashed:
+            names = [tasks[index].job for index in crashed]
+            raise WorkerCrashed(
+                crashed,
+                f"worker pool broke while running analysis job(s) "
+                f"{names}; no partial analyses were merged")
+    else:
+        for task in tasks:
+            outcomes[task.job] = run_analysis_job(task)
+    pool_seconds = time.perf_counter() - pool_start
+
+    registry = current_registry()
+    for task in tasks:
+        registry.merge(outcomes[task.job].metrics)
+
+    return _assemble(tasks, outcomes, asdb is not None, workers,
+                     pool_seconds)
+
+
+def _assemble(tasks: List[AnalysisTask],
+              outcomes: Dict[str, AnalysisJobOutcome],
+              with_keyreuse: bool, workers: int,
+              pool_seconds: float) -> AnalysisBundle:
+    """Fold job outcomes into one bundle, in fixed field order."""
+    def value(job: str):
+        return outcomes[job].value
+
+    ssh = {side: value(f"fig2_ssh:{side}") for side in SIDES}
+    brokers = {(side, protocol): value(f"fig3_{protocol}:{side}")
+               for side in SIDES for protocol in BROKER_PROTOCOLS}
+    secure = {}
+    for side in SIDES:
+        mqtt = brokers[(side, "mqtt")]
+        amqp = brokers[(side, "amqp")]
+        secure[side] = SecureShareReport(
+            label=side,
+            ssh_assessed=ssh[side].assessed,
+            ssh_secure=ssh[side].up_to_date,
+            brokers_total=mqtt.total + amqp.total,
+            brokers_secure=mqtt.controlled + amqp.controlled,
+        )
+    reuse = {side: value(f"keyreuse:{side}") for side in SIDES} \
+        if with_keyreuse else {}
+    timing = {
+        "workers": workers,
+        "pool_wall_seconds": pool_seconds,
+        "jobs": [
+            {"job": task.job,
+             "wall_seconds": outcomes[task.job].wall_seconds,
+             "cpu_seconds": outcomes[task.job].cpu_seconds}
+            for task in tasks
+        ],
+    }
+    return AnalysisBundle(
+        table3=DeviceTypeTable(
+            http_ntp=value("table3_http:ntp"),
+            http_hitlist=value("table3_http:hitlist"),
+            ssh_ntp=value("table3_ssh:ntp"),
+            ssh_hitlist=value("table3_ssh:hitlist"),
+            coap_ntp=value("table3_coap:ntp"),
+            coap_hitlist=value("table3_coap:hitlist"),
+        ),
+        ssh=ssh,
+        brokers=brokers,
+        secure=secure,
+        keyreuse=reuse,
+        timing=timing,
+    )

@@ -62,26 +62,46 @@ def ssh_outdatedness(label: str, results: ScanResults,
                      by_key: bool = True) -> OutdatednessReport:
     """Assess SSH patch levels, deduplicated by host key (default).
 
+    A host key's slot is only consumed by an *assessable* grab: if the
+    first grab presenting a key hides its patch level (the seed
+    implementation burned the key on it), a later assessable grab with
+    the same key still counts.  ``unassessable`` tallies keys that
+    never produced an assessable banner — per key, not per grab.
+
     With ``by_key=False`` every responsive address counts separately —
     the Appendix C (Figure 5) view, where key reuse inflates outdated
     hosts.
     """
     assessed = outdated = unassessable = 0
-    seen_keys: set = set()
-    for grab in results.ssh:
-        if not grab.ok:
-            continue
-        if by_key:
-            if grab.key_fingerprint is None or grab.key_fingerprint in seen_keys:
+    if by_key:
+        assessed_keys: set = set()
+        unassessable_keys: set = set()
+        for grab in results.ssh:
+            if not grab.ok or grab.key_fingerprint is None:
                 continue
-            seen_keys.add(grab.key_fingerprint)
-        verdict = _grab_outdated(grab)
-        if verdict is None:
-            unassessable += 1
-            continue
-        assessed += 1
-        if verdict:
-            outdated += 1
+            if grab.key_fingerprint in assessed_keys:
+                continue
+            verdict = _grab_outdated(grab)
+            if verdict is None:
+                unassessable_keys.add(grab.key_fingerprint)
+                continue
+            assessed_keys.add(grab.key_fingerprint)
+            unassessable_keys.discard(grab.key_fingerprint)
+            assessed += 1
+            if verdict:
+                outdated += 1
+        unassessable = len(unassessable_keys)
+    else:
+        for grab in results.ssh:
+            if not grab.ok:
+                continue
+            verdict = _grab_outdated(grab)
+            if verdict is None:
+                unassessable += 1
+                continue
+            assessed += 1
+            if verdict:
+                outdated += 1
     return OutdatednessReport(label=label, assessed=assessed,
                               outdated=outdated, unassessable=unassessable)
 
@@ -119,24 +139,30 @@ def broker_access_control(label: str, results: ScanResults,
 
     Deduplicates by address (or by ``/by_network`` prefix for the
     Appendix C view); the TLS variant's grabs are merged in by default,
-    as the paper reports one MQTT and one AMQP figure.
+    as the paper reports one MQTT and one AMQP figure.  Per dedup key,
+    the first *conclusive* verdict wins over any number of
+    ``open_access=None`` grabs — the seed implementation consumed the
+    key on the first grab regardless, so an inconclusive plaintext grab
+    silently discarded the conclusive TLS-variant grab merged in after
+    it.
     """
     grabs: List[BrokerGrab] = list(results.grabs(protocol))
     if include_tls_variant:
         grabs += list(results.grabs(protocol + "s"))
-    open_count = controlled = unknown = 0
-    seen: set = set()
+    verdicts: dict = {}
     for grab in grabs:
         if not grab.ok:
             continue
         key = grab.address if by_network is None else \
             grab.address >> (128 - by_network)
-        if key in seen:
-            continue
-        seen.add(key)
-        if grab.open_access is None:
+        if key not in verdicts or (verdicts[key] is None
+                                   and grab.open_access is not None):
+            verdicts[key] = grab.open_access
+    open_count = controlled = unknown = 0
+    for verdict in verdicts.values():
+        if verdict is None:
             unknown += 1
-        elif grab.open_access:
+        elif verdict:
             open_count += 1
         else:
             controlled += 1

@@ -25,7 +25,8 @@ from collections import Counter as TallyCounter
 from dataclasses import asdict, dataclass, field
 from typing import List, Optional, Tuple
 
-from repro.analysis import devicetypes, security
+from repro.analysis import devicetypes
+from repro.analysis.parallel import run_analysis
 from repro.core.actors import NtpSourcingActor, covert_profile, research_profile
 from repro.core.campaign import CampaignConfig, CampaignReport, CollectionCampaign
 from repro.core.detection import ActorDetector, ActorVerdict
@@ -84,8 +85,14 @@ class AnalyzeConfig:
     ntp_path: Optional[str] = None
     hitlist_path: Optional[str] = None
     run_dir: Optional[str] = None
+    #: Analysis process-pool size; 0/1 run the jobs inline.  Either way
+    #: the report is byte-identical modulo the ``parallel_analysis``
+    #: wall-clock table, which only appears when the pool engages.
+    workers: int = 0
 
     def __post_init__(self) -> None:
+        if self.workers < 0:
+            raise ValueError(f"workers={self.workers}: must be >= 0")
         if self.run_dir is None and (self.ntp_path is None
                                      or self.hitlist_path is None):
             raise ValueError(
@@ -190,8 +197,9 @@ def study(config: Optional[ExperimentConfig] = None) -> StudyResult:
     """
     config = config or ExperimentConfig()
     result = run_experiment(config)
-    report = RunReport.build("study", asdict(config), result.metrics,
-                             study_tables(result))
+    with use_registry(result.metrics):
+        tables = study_tables(result, workers=config.parallel_workers)
+    report = RunReport.build("study", asdict(config), result.metrics, tables)
     return StudyResult(experiment=result, report=report)
 
 
@@ -211,18 +219,27 @@ def resume(run_dir: str) -> StudyResult:
     config = experiment_config_from_document(store.meta["config"],
                                              store_dir=str(run_dir))
     result = run_experiment(config, resume=True)
-    report = RunReport.build("study", asdict(config), result.metrics,
-                             study_tables(result))
+    with use_registry(result.metrics):
+        tables = study_tables(result, workers=config.parallel_workers)
+    report = RunReport.build("study", asdict(config), result.metrics, tables)
     return StudyResult(experiment=result, report=report)
 
 
-def study_tables(result: ExperimentResult) -> dict:
-    """The headline tables of one experiment, as JSON-shaped rows."""
+def study_tables(result: ExperimentResult, *, workers: int = 0) -> dict:
+    """The headline tables of one experiment, as JSON-shaped rows.
+
+    ``workers > 1`` fans the independent analyses across a process
+    pool via :func:`repro.analysis.parallel.run_analysis`; every table
+    stays byte-identical to the sequential path, and the pool's
+    wall-clock observability lands in a ``parallel_analysis`` table
+    that deterministic-parity checks strip.
+    """
     table1 = result.table1()
     protocols = result.config.protocols or PROTOCOLS
-    ntp_gap, hitlist_gap = security.security_gap(result.ntp_scan,
-                                                 result.hitlist_scan)
-    table3 = devicetypes.build_table3(result.ntp_scan, result.hitlist_scan)
+    bundle = run_analysis(result.ntp_scan, result.hitlist_scan,
+                          asdb=result.world.asdb, workers=workers)
+    ntp_gap, hitlist_gap = bundle.security_gap()
+    table3 = bundle.table3
     findings = devicetypes.new_or_underrepresented(table3)
     tables: dict = {}
     if result.parallel is not None:
@@ -230,6 +247,9 @@ def study_tables(result: ExperimentResult) -> dict:
         # metrics registry (which records simulated time only) and in
         # its own table so deterministic-parity checks can strip it.
         tables["parallel"] = result.parallel
+    if workers > 1:
+        # Same rule for the analysis pool's timings.
+        tables["parallel_analysis"] = bundle.timing
     tables.update({
         "table1": [
             {"label": s.label, "addresses": s.address_count,
@@ -259,6 +279,11 @@ def study_tables(result: ExperimentResult) -> dict:
         "device_gap": {
             "groups": len(findings),
             "devices": sum(count for count, _ in findings.values()),
+        },
+        "keyreuse": {
+            side: {"reused_keys": report.reused_key_count,
+                   "reused_addresses": report.total_reused_addresses}
+            for side, report in bundle.keyreuse.items()
         },
     })
     return tables
@@ -340,14 +365,19 @@ def analyze(config: AnalyzeConfig) -> AnalyzeResult:
             ntp_scan.targets_seen)
         registry.counter("analyze_targets_total", source="hitlist").inc(
             hitlist_scan.targets_seen)
+        # Inside the registry scope so the analysis_* series land in
+        # this run's snapshot.  No AS database offline, so the key-reuse
+        # sweep is skipped (the bundle's keyreuse dict stays empty).
+        bundle = run_analysis(ntp_scan, hitlist_scan,
+                              workers=config.workers)
 
-    table3 = devicetypes.build_table3(ntp_scan, hitlist_scan)
-    hit_by_group = {g.representative: g.count for g in table3.http_hitlist}
-    ntp_gap, hitlist_gap = security.security_gap(ntp_scan, hitlist_scan)
+    table3 = bundle.table3
+    ntp_gap, hitlist_gap = bundle.security_gap()
     tables = {
         "device_types": [
             {"group": group.representative, "ntp_certs": group.count,
-             "hitlist_certs": hit_by_group.get(group.representative, 0)}
+             "hitlist_certs":
+                 table3.http_group_count("hitlist", group.representative)}
             for group in table3.http_ntp[:8]
         ],
         "security": {
@@ -357,6 +387,8 @@ def analyze(config: AnalyzeConfig) -> AnalyzeResult:
                         "total": hitlist_gap.total},
         },
     }
+    if config.workers > 1:
+        tables["parallel_analysis"] = bundle.timing
     report = RunReport.build("analyze", asdict(config), registry, tables)
     return AnalyzeResult(ntp_scan=ntp_scan, hitlist_scan=hitlist_scan,
                          report=report)

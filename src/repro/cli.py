@@ -189,7 +189,8 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     try:
         config = api.AnalyzeConfig(ntp_path=args.ntp,
                                    hitlist_path=args.hitlist,
-                                   run_dir=args.run_dir)
+                                   run_dir=args.run_dir,
+                                   workers=args.workers)
         result = api.analyze(config)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -343,6 +344,9 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--run-dir", dest="run_dir",
                          help="analyze a run-store directory (from "
                               "`study --store`) instead of saved files")
+    analyze.add_argument("--workers", type=int, default=0,
+                         help="analysis process-pool size; 0/1 run "
+                              "inline (output is identical either way)")
     analyze.set_defaults(func=cmd_analyze)
 
     store = sub.add_parser(

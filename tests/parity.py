@@ -17,9 +17,12 @@ asserts the same thing:
   claim, not an unsharded one.)
 
 What gets stripped before comparing is as important as what does not:
-``parallel_``-prefixed metric series, the report's ``parallel`` table
-and the ``parallel_workers`` config field exist only in parallel runs
-(wall-clock observability), and are the *only* permitted difference.
+``parallel_``-prefixed metric series, the report's ``parallel`` and
+``parallel_analysis`` tables and the ``parallel_workers`` config field
+exist only in parallel runs (wall-clock observability), and are the
+*only* permitted difference.  The ``analysis_*`` series are
+deterministic work counters and deliberately *not* stripped — the
+analysis pool must do exactly the work the sequential path does.
 """
 
 from __future__ import annotations
@@ -46,6 +49,7 @@ def strip_parallel(document: dict) -> dict:
     document = copy.deepcopy(document)
     document.get("config", {}).pop("parallel_workers", None)
     document.get("tables", {}).pop("parallel", None)
+    document.get("tables", {}).pop("parallel_analysis", None)
     metrics = document.get("metrics", {})
     for kind, entries in metrics.items():
         metrics[kind] = [entry for entry in entries

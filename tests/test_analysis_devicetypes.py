@@ -151,3 +151,69 @@ class TestCoapMacDedup:
 
     def test_empty(self):
         assert devicetypes.coap_mac_dedup(ScanResults()) == (0, 0)
+
+
+class TestBugfixRegressions:
+    def test_empty_title_distinct_from_missing_tag(self):
+        """``<title></title>`` and no tag at all are different devices."""
+        results = ScanResults()
+        results.add(_https(1, "", b"c1"))      # empty-but-present tag
+        results.add(_https(2, None, b"c2"))    # no tag at all
+        titles = devicetypes.http_titles_by_certificate(results)
+        assert titles[b"c1"] == devicetypes.EMPTY_TITLE
+        assert titles[b"c2"] == devicetypes.NO_TITLE
+        groups = devicetypes.http_title_groups(results)
+        assert {group.representative for group in groups} == \
+            {devicetypes.EMPTY_TITLE, devicetypes.NO_TITLE}
+
+    def test_findings_skip_both_titleless_buckets(self):
+        results = ScanResults()
+        for index in range(12):
+            results.add(_https(index, "", f"c{index}".encode()))
+            results.add(_https(100 + index, None, f"n{index}".encode()))
+        table = devicetypes.build_table3(results, ScanResults())
+        assert devicetypes.new_or_underrepresented(table) == {}
+
+    def test_findings_match_hitlist_group_by_membership(self):
+        """A hitlist group whose *member* covers the NTP representative
+        counts — the seed's exact-representative match scored it zero
+        and invented a finding."""
+        ntp = ScanResults()
+        for index in range(6):
+            ntp.add(_https(index, "FRITZ!Box 7590", f"c{index}".encode()))
+        hitlist = ScanResults()
+        for index in range(3):
+            hitlist.add(_https(200 + index, "FRITZ!Box 7490",
+                               f"h{index}".encode()))
+        hitlist.add(_https(300, "FRITZ!Box 7590", b"h9"))
+        table = devicetypes.build_table3(ntp, hitlist)
+        # Clustered under the more frequent 7490 representative…
+        assert table.http_group("hitlist", "FRITZ!Box 7590").count == 4
+        # …so the NTP group is covered: 6 certificates vs 4, no finding.
+        findings = devicetypes.new_or_underrepresented(table, factor=5.0)
+        assert "http:FRITZ!Box 7590" not in findings
+
+    def test_findings_match_hitlist_group_by_threshold(self):
+        """No shared member at all, but the representatives are within
+        the clustering threshold — still the same device type."""
+        ntp = ScanResults()
+        for index in range(6):
+            ntp.add(_https(index, "FRITZ!Box 7590", f"c{index}".encode()))
+        hitlist = ScanResults()
+        for index in range(3):
+            hitlist.add(_https(200 + index, "FRITZ!Box 7490",
+                               f"h{index}".encode()))
+        table = devicetypes.build_table3(ntp, hitlist)
+        findings = devicetypes.new_or_underrepresented(table, factor=5.0)
+        assert "http:FRITZ!Box 7590" not in findings
+
+    def test_genuinely_new_group_still_reported(self):
+        ntp = ScanResults()
+        for index in range(6):
+            ntp.add(_https(index, "Industrial PLC gateway",
+                           f"c{index}".encode()))
+        hitlist = ScanResults()
+        hitlist.add(_https(200, "FRITZ!Box 7490", b"h1"))
+        table = devicetypes.build_table3(ntp, hitlist)
+        findings = devicetypes.new_or_underrepresented(table, factor=5.0)
+        assert findings["http:Industrial PLC gateway"] == (6, 0)

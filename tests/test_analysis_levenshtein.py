@@ -116,3 +116,44 @@ class TestClusterer:
 
     def test_group_of_unknown(self):
         assert TitleClusterer().group_of("nope") is None
+
+
+class TestBandedDistance:
+    @pytest.mark.parametrize("left,right,expected", [
+        ("", "", 0),
+        ("abc", "abc", 0),
+        ("kitten", "sitting", 3),
+        ("FRITZ!Box 7590", "FRITZ!Box 7490", 1),
+        ("flaw", "lawn", 2),
+    ])
+    def test_known_values_inside_band(self, left, right, expected):
+        for bound in (expected, expected + 1, expected + 5):
+            assert distance(left, right, upper_bound=bound) == expected
+
+    @pytest.mark.parametrize("left,right,true", [
+        ("kitten", "sitting", 3),
+        ("abcdef", "ghijkl", 6),
+        ("short", "a very different long string", 25),
+    ])
+    def test_exceeding_band_reports_above_bound(self, left, right, true):
+        for bound in range(true):
+            assert distance(left, right, upper_bound=bound) > bound
+
+    def test_bound_zero_is_equality(self):
+        assert distance("abc", "abc", upper_bound=0) == 0
+        assert distance("abc", "abd", upper_bound=0) > 0
+
+    def test_length_gap_short_circuits(self):
+        from repro.analysis.levenshtein import ClusterStats
+
+        stats = ClusterStats()
+        result = distance("ab", "abcdefgh", upper_bound=3, stats=stats)
+        assert result > 3
+        assert stats.dp_cells == 0  # rejected before any DP
+
+    @given(SHORT_TEXT, SHORT_TEXT, st.integers(min_value=0, max_value=12))
+    @settings(max_examples=200)
+    def test_agrees_with_plain_distance(self, left, right, bound):
+        true = distance(left, right)
+        banded = distance(left, right, upper_bound=bound)
+        assert (banded == true) if true <= bound else (banded > bound)

@@ -142,3 +142,60 @@ class TestSecureShare:
         ntp, hitlist = security.security_gap(ScanResults(), ScanResults())
         assert ntp.label == "ntp"
         assert hitlist.label == "hitlist"
+
+
+class TestBugfixRegressions:
+    def test_key_slot_only_consumed_by_assessable_grab(self):
+        """An unassessable first grab must not burn its host key: the
+        seed marked the key seen and dropped the later assessable grab."""
+        results = ScanResults()
+        results.add(_ssh(1, "FreeBSD-20230316", key=b"a"))   # hides level
+        results.add(_ssh(2, "Debian-2+deb12u3", key=b"a"))   # assessable
+        report = security.ssh_outdatedness("x", results)
+        assert report.assessed == 1
+        assert report.outdated == 0
+        assert report.unassessable == 0
+
+    def test_unassessable_counted_per_key_not_per_grab(self):
+        results = ScanResults()
+        results.add(_ssh(1, "FreeBSD-20230316", key=b"a"))
+        results.add(_ssh(2, "FreeBSD-20230316", key=b"a"))
+        results.add(_ssh(3, "FreeBSD-20230316", key=b"b"))
+        report = security.ssh_outdatedness("x", results)
+        assert report.assessed == 0
+        assert report.unassessable == 2
+
+    def test_by_address_still_counts_per_grab(self):
+        results = ScanResults()
+        results.add(_ssh(1, "FreeBSD-20230316", key=b"a"))
+        results.add(_ssh(2, "FreeBSD-20230316", key=b"a"))
+        report = security.ssh_outdatedness("x", results, by_key=False)
+        assert report.unassessable == 2
+
+    def test_conclusive_tls_verdict_beats_earlier_unknown(self):
+        """The TLS variant merges in after plaintext grabs; a conclusive
+        verdict there must not be discarded because the plaintext grab
+        already marked the address seen."""
+        results = ScanResults()
+        results.add(_broker(1, "mqtt", None, port=1883))
+        results.add(_broker(1, "mqtts", False, port=8883))
+        report = security.broker_access_control("x", results, "mqtt")
+        assert report.controlled == 1
+        assert report.unknown == 0
+
+    def test_conclusive_verdict_not_overwritten_by_unknown(self):
+        results = ScanResults()
+        results.add(_broker(1, "mqtt", True, port=1883))
+        results.add(_broker(1, "mqtts", None, port=8883))
+        report = security.broker_access_control("x", results, "mqtt")
+        assert report.open_count == 1
+        assert report.unknown == 0
+
+    def test_first_conclusive_verdict_wins(self):
+        """Two conclusive grabs for one address: first one stands."""
+        results = ScanResults()
+        results.add(_broker(1, "amqp", False, port=5672))
+        results.add(_broker(1, "amqps", True, port=5671))
+        report = security.broker_access_control("x", results, "amqp")
+        assert report.controlled == 1
+        assert report.open_count == 0

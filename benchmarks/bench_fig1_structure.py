@@ -1,7 +1,20 @@
-"""Figure 1: address shares by IID class and by Cable/DSL/ISP AS label."""
+"""Figure 1: address shares by IID class and by Cable/DSL/ISP AS label.
+
+Also hosts the columnar scaling sweep: classification throughput of the
+scalar loop vs the packed AddressColumn at 10^4..10^6 addresses, with a
+hard gate requiring the *pure-python* columnar path to beat the scalar
+path by >= 3x at the largest size.
+"""
+
+import os
+import random
+import time
 
 from benchmarks.conftest import write_report
 from repro.analysis import structure
+from repro.ipv6 import address as addr
+from repro.ipv6 import eui64, iid
+from repro.ipv6.columnar import AddressColumn, available_backends
 from repro.ipv6.iid import CLASSES
 from repro.report import fmt_pct, render_table, shape_check
 
@@ -52,3 +65,100 @@ def test_fig1_structure(experiment, benchmark):
     })
     assert ntp.structured_share < full.structured_share
     assert ntp.eyeball_as_share > full.eyeball_as_share
+
+
+# -- columnar scaling sweep ------------------------------------------------
+
+#: Largest sweep size; override for quick local runs
+#: (e.g. REPRO_BENCH_COLUMNAR_MAX=100000).
+MAX_SWEEP = int(os.environ.get("REPRO_BENCH_COLUMNAR_MAX", str(10**6)))
+
+#: The pure-python column must beat the scalar loop by this factor at
+#: the largest sweep size (conversion from ints included).
+GATE_SPEEDUP = 3.0
+
+
+def _synthetic_corpus(count: int, seed: int = 0x51CA) -> list:
+    """A Fig-1-shaped address mix exercising every IID class."""
+    rng = random.Random(seed)
+    base = addr.parse("2001:db8::")
+    values = []
+    for index in range(count):
+        prefix = base + (rng.getrandbits(16) << 64)
+        draw = rng.random()
+        if draw < 0.45:  # privacy extensions: random IID
+            value = addr.with_iid(prefix, rng.getrandbits(64))
+        elif draw < 0.55:  # EUI-64 from a MAC
+            value = addr.with_iid(
+                prefix, eui64.mac_to_iid(rng.getrandbits(48)))
+        elif draw < 0.70:  # low-byte: manually numbered hosts
+            value = addr.with_iid(prefix, rng.randint(1, 255))
+        elif draw < 0.75:  # subnet router anycast
+            value = addr.with_iid(prefix, 0)
+        elif draw < 0.80:  # low-two-byte
+            value = addr.with_iid(prefix, rng.randint(256, 0xFFFF))
+        elif draw < 0.90:  # low-entropy: a couple of distinct bytes
+            byte = rng.getrandbits(8)
+            value = addr.with_iid(prefix, byte * 0x0101010101010101)
+        else:  # medium-entropy: structured but varied
+            value = addr.with_iid(
+                prefix, (rng.getrandbits(16) << 32) | rng.getrandbits(16))
+        values.append(value)
+    return values
+
+
+def _time(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def test_fig1_columnar_scaling_gate():
+    """Scaling sweep 10^4 -> 10^6 + the >=3x pure-python speedup gate."""
+    sizes = [size for size in (10**4, 10**5, 10**6) if size <= MAX_SWEEP]
+    backends = available_backends()
+    rows = []
+    final_speedups = {}
+    for size in sizes:
+        values = _synthetic_corpus(size)
+        scalar_profile, scalar_s = _time(lambda: iid.profile_scalar(values))
+        row = [f"{size:,}", f"{scalar_s:.3f}s"]
+        for backend in ("python", "numpy"):
+            if backend not in backends:
+                row += ["n/a", "n/a"]
+                continue
+            # Conversion is charged to the columnar path: the gate
+            # covers "ints in hand -> profile out", not just the kernel.
+            def columnar():
+                column = AddressColumn.from_ints(values, backend=backend)
+                return iid.profile(column)
+            col_profile, col_s = _time(columnar)
+            assert col_profile.as_dict() == scalar_profile.as_dict(), \
+                f"columnar/{backend} diverged from scalar at n={size}"
+            speedup = scalar_s / col_s if col_s else float("inf")
+            row += [f"{col_s:.3f}s", f"{speedup:.1f}x"]
+            if size == sizes[-1]:
+                final_speedups[backend] = speedup
+        rows.append(row)
+
+    text = render_table(
+        ["addresses", "scalar", "python col", "speedup",
+         "numpy col", "speedup"],
+        rows, title="Columnar IID classification scaling "
+                    "(conversion included)")
+    checks = [
+        shape_check(
+            f"pure-python columnar >= {GATE_SPEEDUP}x scalar at "
+            f"{sizes[-1]:,} addresses",
+            final_speedups["python"] >= GATE_SPEEDUP),
+    ]
+    if "numpy" in final_speedups:
+        checks.append(shape_check(
+            "numpy columnar at least as fast as pure-python",
+            final_speedups["numpy"] >= final_speedups["python"]))
+    text += "\n\n" + "\n".join(checks)
+    write_report("fig1_structure_scaling", text)
+
+    assert final_speedups["python"] >= GATE_SPEEDUP, (
+        f"pure-python columnar speedup {final_speedups['python']:.2f}x "
+        f"below the {GATE_SPEEDUP}x gate at n={sizes[-1]:,}")

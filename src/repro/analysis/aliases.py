@@ -14,11 +14,11 @@ of hosts would need an absurd coincidence to cover all random picks).
 from __future__ import annotations
 
 import random
-from collections import defaultdict
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Set
+from typing import Iterable, Optional, Set
 
 from repro.ipv6 import address as addrmod
+from repro.ipv6.columnar import AddressColumn
 from repro.net.simnet import Network
 
 #: Random probes per candidate /64.
@@ -70,20 +70,23 @@ def filter_aliased(network: Network, source: int,
     (single-address subnets cannot inflate a list, and probing every
     /64 would itself be a scan campaign).
     """
-    by_prefix: Dict[int, List[int]] = defaultdict(list)
-    materialized = list(addresses)
-    for value in materialized:
-        by_prefix[addrmod.prefix(value, 64)].append(value)
+    column = AddressColumn.coerce(addresses)
+    # Columnar /64 bucketing replaces the per-address grouping dict.
+    # First-occurrence order is preserved so a caller-supplied shared
+    # ``rng`` draws the same probe sequence per prefix as the seed-era
+    # grouping loop did.
     aliased: Set[int] = set()
-    for prefix64, members in by_prefix.items():
-        if len(members) < min_cluster:
+    for key, members in column.network_key_counts_ordered(64):
+        if members < min_cluster:
             continue
+        prefix64 = key << 64
         if is_aliased(network, source, prefix64, probes=probes, rng=rng):
             aliased.add(prefix64)
-    kept = frozenset(value for value in materialized
-                     if addrmod.prefix(value, 64) not in aliased)
+    aliased_keys = {prefix64 >> 64 for prefix64 in aliased}
+    kept = frozenset(value for value in column
+                     if value >> 64 not in aliased_keys)
     return AliasReport(
         kept=kept,
         aliased_prefixes=frozenset(aliased),
-        removed=len(materialized) - len(kept),
+        removed=len(column) - len(kept),
     )

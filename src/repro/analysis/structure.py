@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, Mapping
 
 from repro.ipv6 import iid as iidmod
+from repro.ipv6.columnar import AddressColumn
 from repro.world.asdb import EYEBALL, AsDatabase
 
 
@@ -42,14 +43,20 @@ class StructureReport:
 
 def analyze(label: str, addresses: Iterable[int],
             asdb: AsDatabase) -> StructureReport:
-    """Build the Figure 1 profile for one address set."""
-    materialized = list(addresses)
-    profile = iidmod.profile(materialized)
+    """Build the Figure 1 profile for one address set.
+
+    The set is packed into an :class:`AddressColumn` once; both the IID
+    classification and the AS-category share then run as columnar
+    kernels (the category share groups by /32, the granularity of the
+    AS registry) instead of per-address Python loops.
+    """
+    column = AddressColumn.coerce(addresses)
+    profile = iidmod.profile(column)
     return StructureReport(
         label=label,
         total=profile.total,
         class_shares=profile.as_dict(),
-        eyeball_as_share=asdb.category_share(materialized, EYEBALL),
+        eyeball_as_share=asdb.category_share(column, EYEBALL),
     )
 
 

@@ -4,14 +4,22 @@ Compares address sets (our NTP collection, an R&L-style collection,
 and the TUM-like hitlist variants) on the metrics the paper reports:
 distinct addresses, covering /48 networks and ASes, pairwise overlaps,
 and median address density per /48 and per AS.
+
+Each dataset is held as a deduplicated, sorted
+:class:`~repro.ipv6.columnar.AddressColumn`: per-/48 and per-AS counts
+come from the columnar bucketing kernel (the AS registry is /32
+granular, so grouping by /32 and resolving one lookup per distinct
+network is exactly equal to the seed-era per-address loop), and address
+overlaps are sorted-column intersections instead of
+``set(left) & set(right)``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, Iterable, List, Sequence, Set
 
-from repro.ipv6 import address as addrmod
+from repro.ipv6.columnar import AddressColumn
 from repro.world.asdb import AsDatabase
 
 
@@ -42,45 +50,39 @@ class DatasetComparison:
 
     def __init__(self, asdb: AsDatabase) -> None:
         self.asdb = asdb
-        self._sets: Dict[str, frozenset] = {}
+        self._columns: Dict[str, AddressColumn] = {}
 
     def add(self, label: str, addresses: Iterable[int]) -> None:
-        if label in self._sets:
+        if label in self._columns:
             raise ValueError(f"dataset {label!r} already added")
-        self._sets[label] = frozenset(addresses)
+        self._columns[label] = AddressColumn.coerce(addresses).dedup()
 
     @property
     def labels(self) -> List[str]:
-        return list(self._sets)
+        return list(self._columns)
 
     def addresses(self, label: str) -> frozenset:
-        return self._sets[label]
+        return frozenset(self._columns[label])
+
+    def column(self, label: str) -> AddressColumn:
+        """The dataset as a sorted-unique packed column."""
+        return self._columns[label]
 
     # -- per-dataset metrics ------------------------------------------------
 
-    def _net48s(self, label: str) -> set:
-        return addrmod.distinct_networks(self._sets[label], 48)
+    def _net48s(self, label: str) -> Set[int]:
+        return self._columns[label].distinct_network_keys(48)
 
-    def _asns(self, label: str) -> set:
-        lookup = self.asdb.lookup_asn
-        return {asn for value in self._sets[label]
-                if (asn := lookup(value)) is not None}
+    def _asns(self, label: str) -> Set[int]:
+        return set(self.asdb.as_counts(self._columns[label]))
 
     def summary(self, label: str) -> DatasetSummary:
-        addresses = self._sets[label]
-        shift = 128 - 48
-        per48: Dict[int, int] = {}
-        per_as: Dict[int, int] = {}
-        lookup = self.asdb.lookup_asn
-        for value in addresses:
-            key = value >> shift
-            per48[key] = per48.get(key, 0) + 1
-            asn = lookup(value)
-            if asn is not None:
-                per_as[asn] = per_as.get(asn, 0) + 1
+        column = self._columns[label]
+        per48 = column.network_key_counts(48)
+        per_as = self.asdb.as_counts(column)
         return DatasetSummary(
             label=label,
-            address_count=len(addresses),
+            address_count=len(column),
             net48_count=len(per48),
             as_count=len(per_as),
             median_ips_per_48=_median(per48.values()),
@@ -90,19 +92,21 @@ class DatasetComparison:
     # -- overlaps ----------------------------------------------------------
 
     def overlap(self, reference: str, other: str) -> OverlapSummary:
-        ref, oth = self._sets[reference], self._sets[other]
+        ref, oth = self._columns[reference], self._columns[other]
         return OverlapSummary(
             other_label=other,
-            address_overlap=len(ref & oth),
+            address_overlap=ref.intersection_count(oth),
             net48_overlap=len(self._net48s(reference) & self._net48s(other)),
             as_overlap=len(self._asns(reference) & self._asns(other)),
         )
 
     def table(self, reference: str) -> "ComparisonTable":
         """Full Table 1: every dataset + overlaps against ``reference``."""
-        summaries = [self.summary(label) for label in self._sets]
+        if reference not in self._columns:
+            raise KeyError(reference)
+        summaries = [self.summary(label) for label in self._columns]
         overlaps = [self.overlap(reference, label)
-                    for label in self._sets if label != reference]
+                    for label in self._columns if label != reference]
         return ComparisonTable(reference=reference, summaries=summaries,
                                overlaps=overlaps)
 

@@ -10,6 +10,7 @@ from repro.ipv6.address import (
     parse_network,
     prefix,
 )
+from repro.ipv6.columnar import AddressColumn, available_backends, resolve_backend
 from repro.ipv6.eui64 import extract_mac, format_mac, mac_to_iid, parse_mac
 from repro.ipv6.iid import CLASSES, classify_iid, profile
 from repro.ipv6.oui import OuiRegistry, default_registry
@@ -18,9 +19,12 @@ from repro.ipv6.aggregation import PrefixAggregator, overlap
 __all__ = [
     "ADDRESS_BITS",
     "ADDRESS_SPACE",
+    "AddressColumn",
     "CLASSES",
     "OuiRegistry",
     "PrefixAggregator",
+    "available_backends",
+    "resolve_backend",
     "classify_iid",
     "default_registry",
     "extract_mac",

@@ -1,0 +1,205 @@
+"""Numpy kernels over packed address columns.
+
+The vectorised backend of :mod:`repro.ipv6.columnar`.  Importing this
+module requires numpy; :func:`repro.ipv6.columnar.resolve_backend`
+catches the :class:`ImportError` and falls back to the pure-python
+backend.  Every kernel must return results identical to
+:mod:`repro.ipv6._columnar_python` (property-pinned in
+``tests/test_ipv6_columnar.py``).
+
+Two representation tricks carry the module:
+
+* a 16-byte big-endian row compares lexicographically exactly like the
+  128-bit integer it encodes, so dtype ``S16`` (fixed-width bytes, full
+  16-byte memcmp) makes ``np.sort`` / ``np.unique`` / ``np.intersect1d``
+  operate in correct numeric order without 128-bit integer support;
+* the entropy class of an IID depends only on the multiset of its byte
+  counts, so row-sorting the 8 IID bytes and packing the 7 "adjacent
+  bytes differ" bits into a *boundary mask* reduces classification to a
+  128-entry table lookup (see ``_columnar_tables``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.ipv6._columnar_tables import (
+    CODE_EUI64,
+    CODE_LOW_BYTE,
+    CODE_LOW_TWO_BYTES,
+    CODE_ZERO,
+    MASK_CODE,
+    MASK_ENTROPY,
+)
+
+NAME = "numpy"
+
+_ITEM = 16
+_MASK_CODE = np.array(MASK_CODE, dtype=np.uint8)
+
+
+def _rows(data: bytes, count: int) -> "np.ndarray":
+    return np.frombuffer(data, dtype=np.uint8).reshape(count, _ITEM)
+
+
+def _halves(data: bytes, count: int) -> "np.ndarray":
+    """(count, 2) native uint64 array of big-endian (high, low) words."""
+    return np.frombuffer(data, dtype=">u8").astype(np.uint64).reshape(count, 2)
+
+
+def _boundary_masks(iid: "np.ndarray") -> "np.ndarray":
+    ordered = np.sort(iid, axis=1)
+    bounds = ordered[:, 1:] != ordered[:, :-1]
+    return np.packbits(bounds, axis=1, bitorder="little")[:, 0]
+
+
+def class_counts(data: bytes, count: int) -> List[int]:
+    """Per-class address counts, aligned with ``iid.CLASSES``."""
+    if count == 0:
+        return [0] * 7
+    iid = _rows(data, count)[:, 8:]
+    codes = _MASK_CODE[_boundary_masks(iid)]
+    head_zero = ~iid[:, :6].any(axis=1)
+    byte6, byte7 = iid[:, 6], iid[:, 7]
+    eui = (iid[:, 3] == 0xFF) & (iid[:, 4] == 0xFE)
+    codes = np.where(eui, CODE_EUI64, codes)
+    codes = np.where(head_zero & (byte6 != 0), CODE_LOW_TWO_BYTES, codes)
+    codes = np.where(head_zero & (byte6 == 0) & (byte7 != 0),
+                     CODE_LOW_BYTE, codes)
+    codes = np.where(head_zero & (byte6 == 0) & (byte7 == 0),
+                     CODE_ZERO, codes)
+    return np.bincount(codes, minlength=7).tolist()[:7]
+
+
+def iid_entropy_histogram(data: bytes, count: int) -> Dict[float, int]:
+    """``{canonical byte entropy: n addresses}`` over every IID."""
+    if count == 0:
+        return {}
+    masks = _boundary_masks(_rows(data, count)[:, 8:])
+    histogram: Dict[float, int] = {}
+    for mask, occurrences in enumerate(np.bincount(masks, minlength=128)):
+        if occurrences:
+            entropy = MASK_ENTROPY[mask]
+            histogram[entropy] = histogram.get(entropy, 0) + int(occurrences)
+    return histogram
+
+
+def eui64_select(data: bytes, count: int) -> bytes:
+    """The packed subset carrying the ``ff:fe`` marker, order preserved."""
+    if count == 0:
+        return b""
+    rows = _rows(data, count)
+    keep = (rows[:, 11] == 0xFF) & (rows[:, 12] == 0xFE)
+    return rows[keep].tobytes()
+
+
+def nybble_value_counts(data: bytes, count: int) -> List[List[int]]:
+    """Value histogram per nybble position: 32 rows of 16 counts."""
+    if count == 0:
+        return [[0] * 16 for _ in range(32)]
+    rows = _rows(data, count)
+    out: List[List[int]] = []
+    for position in range(_ITEM):
+        column = rows[:, position]
+        out.append(np.bincount(column >> 4, minlength=16).tolist())
+        out.append(np.bincount(column & 0xF, minlength=16).tolist())
+    return out
+
+
+def _level_keys(data: bytes, count: int, level: int):
+    """Per-row network keys: a uint64 vector (level <= 64) or a pair
+    (count, 2) array of (high, truncated-low) words (level > 64)."""
+    halves = _halves(data, count)
+    if level <= 64:
+        return halves[:, 0] >> np.uint64(64 - level)
+    low = halves[:, 1]
+    if level < 128:
+        low = low >> np.uint64(128 - level)
+    return np.column_stack((halves[:, 0], low))
+
+
+def _pair_key(high: int, low: int, level: int) -> int:
+    return (high << (level - 64)) | low
+
+
+def network_key_counts(data: bytes, count: int, level: int) -> Dict[int, int]:
+    """Distinct ``/level`` key -> row count (order unspecified)."""
+    if count == 0:
+        return {}
+    if level == 0:
+        return {0: count}
+    keys = _level_keys(data, count, level)
+    if level <= 64:
+        unique, counts = np.unique(keys, return_counts=True)
+        return dict(zip(unique.tolist(), counts.tolist()))
+    unique, counts = np.unique(keys, axis=0, return_counts=True)
+    return {
+        _pair_key(int(pair[0]), int(pair[1]), level): int(occurrences)
+        for pair, occurrences in zip(unique, counts)
+    }
+
+
+def network_key_counts_ordered(data: bytes, count: int,
+                               level: int) -> List[Tuple[int, int]]:
+    """Distinct keys with counts, in first-occurrence order."""
+    if count == 0:
+        return []
+    if level == 0:
+        return [(0, count)]
+    keys = _level_keys(data, count, level)
+    if level <= 64:
+        unique, first, counts = np.unique(
+            keys, return_index=True, return_counts=True)
+        order = np.argsort(first, kind="stable")
+        return [(int(unique[i]), int(counts[i])) for i in order]
+    unique, first, counts = np.unique(
+        keys, axis=0, return_index=True, return_counts=True)
+    order = np.argsort(first, kind="stable")
+    return [
+        (_pair_key(int(unique[i][0]), int(unique[i][1]), level),
+         int(counts[i]))
+        for i in order
+    ]
+
+
+def truncate(data: bytes, count: int, level: int) -> bytes:
+    """Zero every bit past the first ``level`` bits of each address."""
+    if level >= 128 or count == 0:
+        return bytes(data)
+    out = _rows(data, count).copy()
+    full, remainder = divmod(level, 8)
+    if remainder:
+        out[:, full] &= (0xFF << (8 - remainder)) & 0xFF
+    out[:, full + (1 if remainder else 0):] = 0
+    return out.tobytes()
+
+
+def _cells(data: bytes) -> "np.ndarray":
+    return np.frombuffer(data, dtype=f"S{_ITEM}")
+
+
+def sort(data: bytes, count: int) -> bytes:
+    """Ascending copy; S16 memcmp order equals numeric order."""
+    return np.sort(_cells(data)).tobytes()
+
+
+def sort_dedup(data: bytes, count: int) -> bytes:
+    """Ascending copy with duplicate addresses collapsed."""
+    return np.unique(_cells(data)).tobytes()
+
+
+def intersect_sorted(left: bytes, left_count: int,
+                     right: bytes, right_count: int) -> bytes:
+    """Sorted intersection of two sorted-unique columns."""
+    if not left_count or not right_count:
+        return b""
+    return np.intersect1d(_cells(left), _cells(right),
+                          assume_unique=True).tobytes()
+
+
+def union_sorted(left: bytes, left_count: int,
+                 right: bytes, right_count: int) -> bytes:
+    """Sorted-merge union (dedup'd) of two sorted-unique columns."""
+    return np.union1d(_cells(left), _cells(right)).tobytes()

@@ -1,0 +1,177 @@
+"""Pure-python kernels over packed address columns.
+
+The fallback backend of :mod:`repro.ipv6.columnar`: every kernel works
+on one contiguous ``bytes`` buffer holding 16 big-endian bytes per
+address and must produce results identical to the numpy backend (and to
+the scalar functions in :mod:`repro.ipv6.iid` / :mod:`~repro.ipv6.eui64`
+/ :mod:`~repro.ipv6.address`).  The hot loops lean on C-level ``bytes``
+operations — slicing, ``set``, ``bytes.count``, ``struct.unpack`` — so
+even without numpy the column beats the per-address scalar path by a
+wide margin (gated in ``benchmarks/bench_fig1_structure.py``).
+"""
+
+from __future__ import annotations
+
+import struct
+from collections import Counter
+from typing import Dict, List, Tuple
+
+from repro.ipv6._columnar_tables import (
+    CODE_EUI64,
+    CODE_HIGH_ENTROPY,
+    CODE_LOW_BYTE,
+    CODE_LOW_ENTROPY,
+    CODE_LOW_TWO_BYTES,
+    CODE_MEDIUM_ENTROPY,
+    CODE_ZERO,
+    PARTITION_ENTROPY,
+)
+
+NAME = "python"
+
+_ITEM = 16
+_ZERO6 = b"\x00" * 6
+
+
+def _chunks(data: bytes, count: int) -> List[bytes]:
+    return [data[offset:offset + _ITEM]
+            for offset in range(0, _ITEM * count, _ITEM)]
+
+
+def _words(data: bytes, count: int) -> Tuple[int, ...]:
+    """The column as alternating (high, low) 64-bit big-endian words."""
+    return struct.unpack(f">{2 * count}Q", data)
+
+
+def class_counts(data: bytes, count: int) -> List[int]:
+    """Per-class address counts, aligned with ``iid.CLASSES``.
+
+    The entropy classes are decided by the *distinct-byte-count rule*,
+    a collapse of the partition table in ``_columnar_tables``: with
+    ``d`` distinct bytes among 8, every partition with ``d <= 2`` has
+    entropy <= 1.0 (low), every ``d`` in {3, 4} lands in (1.0, 2.0]
+    (medium), ``d >= 6`` always exceeds 2.0 (high), and ``d == 5`` is
+    medium exactly for the [4,1,1,1,1] partition (entropy 2.0).  The
+    rule is proven against the table in ``tests/test_ipv6_columnar.py``.
+    """
+    counts = [0] * 7
+    for offset in range(8, _ITEM * count, _ITEM):
+        identifier = data[offset:offset + 8]
+        if identifier[:6] == _ZERO6:
+            if identifier[6]:
+                counts[CODE_LOW_TWO_BYTES] += 1
+            elif identifier[7]:
+                counts[CODE_LOW_BYTE] += 1
+            else:
+                counts[CODE_ZERO] += 1
+        elif identifier[3] == 0xFF and identifier[4] == 0xFE:
+            counts[CODE_EUI64] += 1
+        else:
+            distinct = set(identifier)
+            spread = len(distinct)
+            if spread > 5:
+                counts[CODE_HIGH_ENTROPY] += 1
+            elif spread < 3:
+                counts[CODE_LOW_ENTROPY] += 1
+            elif spread == 5 and max(map(identifier.count, distinct)) != 4:
+                counts[CODE_HIGH_ENTROPY] += 1
+            else:
+                counts[CODE_MEDIUM_ENTROPY] += 1
+    return counts
+
+
+def iid_entropy_histogram(data: bytes, count: int) -> Dict[float, int]:
+    """``{canonical byte entropy: n addresses}`` over every IID."""
+    histogram: Counter = Counter()
+    for offset in range(8, _ITEM * count, _ITEM):
+        identifier = data[offset:offset + 8]
+        signature = tuple(sorted(
+            (identifier.count(value) for value in set(identifier)),
+            reverse=True))
+        histogram[PARTITION_ENTROPY[signature]] += 1
+    return dict(histogram)
+
+
+def eui64_select(data: bytes, count: int) -> bytes:
+    """The packed subset carrying the ``ff:fe`` marker, order preserved."""
+    kept = [data[offset:offset + _ITEM]
+            for offset in range(0, _ITEM * count, _ITEM)
+            if data[offset + 11] == 0xFF and data[offset + 12] == 0xFE]
+    return b"".join(kept)
+
+
+def nybble_value_counts(data: bytes, count: int) -> List[List[int]]:
+    """Value histogram per nybble position: 32 rows of 16 counts."""
+    rows: List[List[int]] = []
+    for position in range(_ITEM):
+        high = [0] * 16
+        low = [0] * 16
+        for value, occurrences in Counter(data[position::_ITEM]).items():
+            high[value >> 4] += occurrences
+            low[value & 0xF] += occurrences
+        rows.append(high)
+        rows.append(low)
+    return rows
+
+
+def network_key_counts(data: bytes, count: int, level: int) -> Dict[int, int]:
+    """Distinct ``/level`` key -> row count, in first-occurrence order."""
+    if count == 0:
+        return {}
+    if level == 0:
+        return {0: count}
+    words = _words(data, count)
+    high = words[0::2]
+    if level <= 64:
+        shift = 64 - level
+        return dict(Counter(value >> shift for value in high))
+    low = words[1::2]
+    up, down = level - 64, 128 - level
+    return dict(Counter(
+        (h << up) | (l >> down) for h, l in zip(high, low)))
+
+
+def network_key_counts_ordered(data: bytes, count: int,
+                               level: int) -> List[Tuple[int, int]]:
+    """Like :func:`network_key_counts` but explicitly ordered."""
+    return list(network_key_counts(data, count, level).items())
+
+
+def truncate(data: bytes, count: int, level: int) -> bytes:
+    """Zero every bit past the first ``level`` bits of each address."""
+    if level >= 128:
+        return bytes(data)
+    out = bytearray(data)
+    full, remainder = divmod(level, 8)
+    zero_from = full + (1 if remainder else 0)
+    tail = b"\x00" * (_ITEM - zero_from)
+    mask = (0xFF << (8 - remainder)) & 0xFF if remainder else 0
+    for offset in range(0, _ITEM * count, _ITEM):
+        if remainder:
+            out[offset + full] &= mask
+        out[offset + zero_from:offset + _ITEM] = tail
+    return bytes(out)
+
+
+def sort(data: bytes, count: int) -> bytes:
+    """Ascending copy; byte order on 16-byte rows equals numeric order."""
+    return b"".join(sorted(_chunks(data, count)))
+
+
+def sort_dedup(data: bytes, count: int) -> bytes:
+    """Ascending copy with duplicate addresses collapsed."""
+    return b"".join(sorted(set(_chunks(data, count))))
+
+
+def intersect_sorted(left: bytes, left_count: int,
+                     right: bytes, right_count: int) -> bytes:
+    """Sorted intersection of two sorted-unique columns."""
+    common = set(_chunks(left, left_count)) & set(_chunks(right, right_count))
+    return b"".join(sorted(common))
+
+
+def union_sorted(left: bytes, left_count: int,
+                 right: bytes, right_count: int) -> bytes:
+    """Sorted-merge union (dedup'd) of two sorted-unique columns."""
+    merged = set(_chunks(left, left_count)) | set(_chunks(right, right_count))
+    return b"".join(sorted(merged))

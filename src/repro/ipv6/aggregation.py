@@ -4,64 +4,118 @@ The paper repeatedly counts address sets at multiple aggregation levels
 (/32, /48, /56, /64 networks, plus ASes and countries — Tables 1 and 5)
 and reports densities such as *median IPs per /48*.  This module
 provides an efficient multi-level counter over integer addresses.
+
+Since the columnar refactor the aggregator holds its addresses as a
+packed :class:`~repro.ipv6.columnar.AddressColumn` (one sorted-unique
+main run plus a small pending set, LSM-style) instead of a Python
+``set``, so memory stays at 16 bytes per address and the per-level
+network counts come from the columnar bucketing kernel.  Counts are
+cached per level and invalidated on insert — ``median_density``,
+``mean_density`` and ``summary`` no longer rescan the whole set on
+every call.
 """
 
 from __future__ import annotations
 
 import statistics
 from collections import Counter
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Mapping, Sequence
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Set
 
 from repro.ipv6 import address as addr
+from repro.ipv6.columnar import AddressColumn
 
 #: Aggregation levels used throughout the paper's tables.
 STANDARD_LEVELS: tuple[int, ...] = (32, 48, 56, 64)
 
+#: Pending inserts buffered before a sorted-merge into the main column.
+FLUSH_THRESHOLD = 1 << 16
 
-@dataclass
+
 class PrefixAggregator:
     """Counts distinct addresses per network at several prefix lengths.
 
-    Feed addresses with :meth:`add`; duplicate addresses are collapsed.
-    Counts per level are exposed as ``{network_key: n_addresses}``.
+    Feed addresses with :meth:`add` / :meth:`update`; duplicate
+    addresses are collapsed.  Counts per level are exposed as
+    ``{network_key: n_addresses}``.
     """
 
-    levels: Sequence[int] = STANDARD_LEVELS
-    _addresses: set = field(default_factory=set)
+    def __init__(self, levels: Sequence[int] = STANDARD_LEVELS, *,
+                 backend: Optional[str] = None,
+                 flush_threshold: int = FLUSH_THRESHOLD) -> None:
+        if flush_threshold <= 0:
+            raise ValueError(
+                f"flush_threshold must be positive, got {flush_threshold}")
+        self.levels = tuple(levels)
+        self._column = AddressColumn(backend=backend, _sorted_unique=True)
+        self._pending: Set[int] = set()
+        self._flush_threshold = flush_threshold
+        self._counts_cache: Dict[int, Counter] = {}
 
     def add(self, value: int) -> bool:
         """Record one address; returns True if it was new."""
-        if value in self._addresses:
+        if value in self._pending or self._column.contains(value):
             return False
-        self._addresses.add(value)
+        self._pending.add(value)
+        self._counts_cache.clear()
+        if len(self._pending) >= self._flush_threshold:
+            self._flush()
         return True
 
-    def update(self, values: Iterable[int]) -> None:
-        """Record many addresses."""
-        self._addresses.update(values)
+    def update(self, values: Iterable[int]) -> int:
+        """Record many addresses; returns how many were new.
+
+        The count feeds collector dedup metrics — bulk feeds go through
+        the same new-address accounting as :meth:`add`.
+        """
+        added = 0
+        for value in values:
+            if self.add(value):
+                added += 1
+        return added
+
+    def _flush(self) -> None:
+        """Sorted-merge the pending set into the main column."""
+        if not self._pending:
+            return
+        batch = AddressColumn.from_ints(
+            sorted(self._pending), backend=self._column.backend_name)
+        self._column = self._column.union(batch)
+        self._pending.clear()
 
     @property
     def address_count(self) -> int:
         """Number of distinct addresses recorded."""
-        return len(self._addresses)
+        return len(self._column) + len(self._pending)
 
     @property
     def addresses(self) -> frozenset:
-        return frozenset(self._addresses)
+        return frozenset(self._column).union(self._pending)
+
+    @property
+    def column(self) -> AddressColumn:
+        """The distinct addresses as a sorted-unique packed column."""
+        self._flush()
+        return self._column
+
+    def _counts(self, level: int) -> Counter:
+        """Cached distinct-address count per ``/level`` network."""
+        cached = self._counts_cache.get(level)
+        if cached is None:
+            self._flush()
+            cached = self._column.network_counts(level)
+            self._counts_cache[level] = cached
+        return cached
 
     def network_counts(self, level: int) -> Counter:
         """Distinct-address count per ``/level`` network."""
-        shift = addr.ADDRESS_BITS - level
-        counts: Counter[int] = Counter()
-        for value in self._addresses:
-            counts[value >> shift] += 1
-        return counts
+        # Copy so callers can mutate the result without corrupting the
+        # cache (invalidation only happens on insert).
+        return Counter(self._counts(level))
 
     def network_count(self, level: int) -> int:
         """Number of distinct ``/level`` networks covered."""
-        shift = addr.ADDRESS_BITS - level
-        return len({value >> shift for value in self._addresses})
+        return len(self._counts(level))
 
     def summary(self) -> Dict[int, int]:
         """``{level: distinct network count}`` for all configured levels."""
@@ -74,14 +128,14 @@ class PrefixAggregator:
         NTP-sourced /48s are denser than hitlist /48s, indicating
         client-side networks.  Returns 0.0 for an empty set.
         """
-        counts = self.network_counts(level)
+        counts = self._counts(level)
         if not counts:
             return 0.0
         return float(statistics.median(counts.values()))
 
     def mean_density(self, level: int) -> float:
         """Mean number of addresses per ``/level`` network."""
-        counts = self.network_counts(level)
+        counts = self._counts(level)
         if not counts:
             return 0.0
         return self.address_count / len(counts)
@@ -95,7 +149,13 @@ def overlap(left: Iterable[int], right: Iterable[int], level: int) -> int:
 
 
 def address_overlap(left: Iterable[int], right: Iterable[int]) -> int:
-    """Number of exact addresses shared between two sets."""
+    """Number of exact addresses shared between two sets.
+
+    Columns intersect via the sorted-merge kernel; any other iterable
+    falls back to Python set intersection.
+    """
+    if isinstance(left, AddressColumn) and isinstance(right, AddressColumn):
+        return left.intersection_count(right)
     return len(set(left) & set(right))
 
 

@@ -124,7 +124,18 @@ class EmbeddedMac:
 
 
 def scan_addresses(addresses) -> list[EmbeddedMac]:
-    """Extract every embedded MAC from an iterable of addresses."""
+    """Extract every embedded MAC from an iterable of addresses.
+
+    An :class:`~repro.ipv6.columnar.AddressColumn` input is filtered by
+    the columnar EUI-64 kernel first, so only marker-carrying addresses
+    are materialized as Python objects; any other iterable takes the
+    scalar path.  Output order follows input order in both cases.
+    """
+    from repro.ipv6.columnar import AddressColumn
+
+    if isinstance(addresses, AddressColumn):
+        return [EmbeddedMac(address=value, mac=iid_to_mac(value & addr.IID_MASK))
+                for value in addresses.eui64()]
     found = []
     for value in addresses:
         mac = extract_mac(value)

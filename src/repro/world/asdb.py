@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.ipv6 import address as addr
+from repro.ipv6.columnar import AddressColumn
 
 #: PeeringDB-inspired network categories.
 CATEGORIES = (
@@ -118,9 +119,20 @@ class AsDatabase:
         return (block_key << 96) + (within << (128 - length))
 
     # -- aggregate views --------------------------------------------------
+    #
+    # Allocations are /32-granular, so every per-address AS property is
+    # constant within a /32.  The columnar paths below bucket a packed
+    # AddressColumn by /32 first and resolve one lookup per *distinct*
+    # network instead of one per address — exactly equal counts, since
+    # the scalar loops only ever consult ``value >> 96``.
 
     def distinct_as_count(self, addresses: Iterable[int]) -> int:
         """Number of distinct origin ASes among routed addresses."""
+        if isinstance(addresses, AddressColumn):
+            owners = self._prefix_owner
+            return len({owners[key]
+                        for key in addresses.distinct_network_keys(32)
+                        if key in owners})
         seen = set()
         for value in addresses:
             asn = self.lookup_asn(value)
@@ -134,6 +146,15 @@ class AsDatabase:
         Unrouted addresses count toward the denominator, mirroring how
         the paper normalizes by all collected addresses.
         """
+        if isinstance(addresses, AddressColumn):
+            total = len(addresses)
+            matching = 0
+            for key, count in addresses.network_key_counts(32).items():
+                asn = self._prefix_owner.get(key)
+                if asn is not None and \
+                        self._systems[asn].category == category:
+                    matching += count
+            return matching / total if total else 0.0
         total = 0
         matching = 0
         for value in addresses:
@@ -142,6 +163,16 @@ class AsDatabase:
             if system is not None and system.category == category:
                 matching += 1
         return matching / total if total else 0.0
+
+    def as_counts(self, addresses: "AddressColumn") -> Dict[int, int]:
+        """``{asn: n addresses}`` for a packed column (routed only)."""
+        per_as: Dict[int, int] = {}
+        owners = self._prefix_owner
+        for key, count in addresses.network_key_counts(32).items():
+            asn = owners.get(key)
+            if asn is not None:
+                per_as[asn] = per_as.get(asn, 0) + count
+        return per_as
 
 
 def _eyeball_name(country: str, index: int) -> str:

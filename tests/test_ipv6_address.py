@@ -100,6 +100,56 @@ class TestIid:
         assert addr.prefix(combined, 64) == addr.prefix(prefix_value, 64)
 
 
+class TestBitOpRoundTrips:
+    """Property round-trips tying the bit-op primitives together."""
+
+    @given(ADDRESSES, LENGTHS)
+    def test_network_key_roundtrip(self, value, length):
+        key = addr.network_key(value, length)
+        assert addr.from_network_key(key, length) == addr.prefix(value, length)
+        assert addr.network_key(addr.from_network_key(key, length),
+                                length) == key
+
+    @given(ADDRESSES, LENGTHS)
+    def test_key_bounded_by_level(self, value, length):
+        assert 0 <= addr.network_key(value, length) < (1 << length)
+
+    @given(ADDRESSES)
+    def test_prefix_iid_reassemble(self, value):
+        """prefix/iid split and with_iid reassembly are inverses."""
+        assert addr.with_iid(addr.prefix(value, 64), addr.iid(value)) == value
+
+    @given(ADDRESSES, st.integers(min_value=0, max_value=(1 << 64) - 1))
+    def test_with_iid_ignores_old_iid(self, value, iid_value):
+        assert addr.with_iid(value, iid_value) == \
+            addr.with_iid(addr.prefix(value, 64), iid_value)
+
+    @given(ADDRESSES, LENGTHS)
+    def test_contains_own_prefix(self, value, length):
+        """Every address lies inside its own /length network."""
+        assert addr.contains(addr.prefix(value, length), length, value)
+
+    @given(ADDRESSES, LENGTHS)
+    def test_contains_iff_same_key(self, value, length):
+        other = value ^ 1  # flip the lowest bit
+        same_net = addr.network_key(value, length) == \
+            addr.network_key(other, length)
+        assert addr.contains(addr.prefix(value, length), length,
+                             other) == same_net
+
+    @given(ADDRESSES, st.integers(min_value=0, max_value=120))
+    def test_iter_subnets_consistent_with_contains(self, value, length):
+        """All subnets enumerated by iter_subnets lie inside the parent."""
+        base = addr.prefix(value, length)
+        child = min(length + 3, 128)
+        subnets = list(addr.iter_subnets(base, length, child))
+        assert len(subnets) == 1 << (child - length)
+        assert len(set(subnets)) == len(subnets)
+        for subnet in subnets:
+            assert addr.contains(base, length, subnet)
+            assert addr.prefix(subnet, child) == subnet
+
+
 class TestNetworks:
     def test_format_network(self):
         value = addr.parse("2001:db8:1:2::5")

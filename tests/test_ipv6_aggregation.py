@@ -50,6 +50,51 @@ class TestPrefixAggregator:
         agg.update([_addr(0, 1), _addr(0, 2), _addr(1, 1)])
         assert agg.mean_density(48) == pytest.approx(1.5)
 
+    def test_update_returns_new_count(self):
+        agg = PrefixAggregator()
+        assert agg.update([_addr(0, 1), _addr(0, 2), _addr(0, 1)]) == 2
+        # Re-feeding known addresses adds nothing.
+        assert agg.update([_addr(0, 1), _addr(0, 2)]) == 0
+        assert agg.update([_addr(0, 2), _addr(1, 1)]) == 1
+        assert agg.address_count == 3
+
+    def test_update_counts_across_flushes(self):
+        agg = PrefixAggregator(flush_threshold=2)
+        values = [_addr(0, host) for host in range(5)]
+        assert agg.update(values) == 5
+        assert agg.update(values) == 0
+        assert agg.address_count == 5
+
+    def test_network_counts_cached_and_invalidated(self):
+        agg = PrefixAggregator()
+        agg.update([_addr(0, 1), _addr(0, 2)])
+        first = agg.network_counts(48)
+        assert agg._counts(48) is agg._counts(48)  # cache hit
+        agg.add(_addr(1, 1))  # insert invalidates
+        second = agg.network_counts(48)
+        assert len(second) == len(first) + 1
+
+    def test_network_counts_returns_copy(self):
+        agg = PrefixAggregator()
+        agg.update([_addr(0, 1)])
+        counts = agg.network_counts(48)
+        counts.clear()  # caller mutation must not corrupt the cache
+        assert agg.network_count(48) == 1
+        assert agg.network_counts(48)
+
+    def test_column_property_is_sorted_unique(self):
+        agg = PrefixAggregator(flush_threshold=2)
+        values = [_addr(1, 1), _addr(0, 2), _addr(0, 1), _addr(1, 1)]
+        agg.update(values)
+        column = agg.column
+        assert column.is_sorted_unique
+        assert list(column) == sorted(set(values))
+        assert agg.addresses == frozenset(values)
+
+    def test_rejects_bad_flush_threshold(self):
+        with pytest.raises(ValueError):
+            PrefixAggregator(flush_threshold=0)
+
     @given(st.lists(st.integers(min_value=0, max_value=2**128 - 1),
                     max_size=50))
     def test_counts_consistent(self, values):

@@ -7,8 +7,12 @@ assessment, the Figure-3 broker access-control classification, and the
 Section-6 key-reuse sweep each read only their own slice of the
 immutable :class:`~repro.scan.result.ScanResults`.  This module runs
 them as a fixed, deterministic job list, either inline or across the
-same ``spawn``-safe process pool the PR-4 scan backend uses
-(:mod:`repro.runtime.parallel`).
+same persistent ``spawn``-safe :class:`~repro.runtime.pool.WorkerPool`
+the scan backend uses — each campaign side's results ship to the pool
+once as a pickle-once :class:`~repro.runtime.pool.SnapshotRef`, not
+once per job, and a pool shared via
+:class:`repro.api.ExecutionContext` keeps both its workers and that
+snapshot cache across calls.
 
 Determinism argument: every job is a pure function of its pickled
 inputs, each job records into its own fresh
@@ -22,12 +26,8 @@ to differ is wall-clock observability, which lives in
 
 from __future__ import annotations
 
-import os
 import time
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field
-from multiprocessing import get_context
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
 from repro.analysis import devicetypes, keyreuse, security
@@ -39,7 +39,9 @@ from repro.analysis.security import (
     SecureShareReport,
 )
 from repro.obs.metrics import MetricsRegistry, current_registry, use_registry
-from repro.runtime.parallel import DEFAULT_START_METHOD, WorkerCrashed
+from repro.runtime.parallel import WorkerCrashed
+from repro.runtime.pool import PoolBrokenError, SnapshotRef, WorkerPool, \
+    load_snapshot
 from repro.scan.result import ScanResults
 from repro.world.asdb import AsDatabase
 
@@ -63,9 +65,14 @@ class AnalysisTask:
     job: str
     kind: str
     dataset: str
-    results: ScanResults
+    #: The campaign's results by value (inline mode), or ``None`` when
+    #: the pooled path replaced them with a pickle-once ``results_ref``.
+    results: Optional[ScanResults]
     protocol: Optional[str] = None
     asdb: Optional[AsDatabase] = None
+    #: Pool-spooled address of ``results`` — each campaign side ships
+    #: once per (results, pool) pair, not once per job.
+    results_ref: Optional[SnapshotRef] = None
 
 
 @dataclass
@@ -169,6 +176,10 @@ def run_analysis_job(task: AnalysisTask) -> AnalysisJobOutcome:
     """
     wall_start = time.perf_counter()
     cpu_start = time.process_time()
+    if task.results is None and task.results_ref is not None:
+        # Pooled mode: resolve the pickle-once snapshot (cached per
+        # worker process, so one load serves every job on this side).
+        task = replace(task, results=load_snapshot(task.results_ref))
     registry = MetricsRegistry()
     with use_registry(registry):
         value = _JOB_KINDS[task.kind](task)
@@ -182,54 +193,81 @@ def run_analysis_job(task: AnalysisTask) -> AnalysisJobOutcome:
     )
 
 
+def _ship_side(pool: WorkerPool, results: ScanResults) -> SnapshotRef:
+    """Spool one campaign side into the pool, pickling at most once.
+
+    The cache token captures the live object plus its append-only
+    shape (bucket sizes, targets seen): re-analyzing the same results
+    on the same pool skips the pickling pass, while results that grew
+    since last shipment re-ship.
+    """
+    token = ("results", id(results), results.targets_seen,
+             tuple(len(results.grabs(p)) for p in results.protocols()))
+    ref = pool.lookup(token, anchor=results)
+    if ref is None:
+        ref = pool.ship(results, token=token, anchor=results)
+    return ref
+
+
 def run_analysis(ntp: ScanResults, hitlist: ScanResults, *,
                  asdb: Optional[AsDatabase] = None,
                  workers: int = 0,
-                 start_method: Optional[str] = None) -> AnalysisBundle:
+                 start_method: Optional[str] = None,
+                 pool: Optional[WorkerPool] = None) -> AnalysisBundle:
     """Run every analysis job and merge the outcomes deterministically.
 
-    ``workers <= 1`` runs the jobs inline in job-list order;
-    ``workers > 1`` fans them across a ``spawn``-safe process pool.
-    Either way the job registries fold into the current metrics
-    registry in job-list order, so the bundle and all ``analysis_*``
-    series are byte-identical across modes.  Key reuse requires
-    ``asdb`` and is skipped without one (offline re-analysis of saved
-    scan files has no AS database).
+    ``workers == 0`` (and no ``pool``) runs the jobs inline in job-list
+    order; ``workers >= 1`` fans them across a ``spawn``-safe process
+    pool of that width, and a caller-owned persistent ``pool`` (usually
+    :class:`repro.api.ExecutionContext`'s) is used as-is — its workers
+    and its pickle-once snapshot cache outlive this call, so each
+    campaign side ships once per (results, pool) pair, not once per
+    job or per call.  Either way the job registries fold into the
+    current metrics registry in job-list order, so the bundle and all
+    ``analysis_*`` series are byte-identical across modes.  Key reuse
+    requires ``asdb`` and is skipped without one (offline re-analysis
+    of saved scan files has no AS database).
     """
     if workers < 0:
         raise ValueError(f"workers must be >= 0, got {workers}")
     tasks = analysis_tasks(ntp, hitlist, asdb)
     outcomes: Dict[str, AnalysisJobOutcome] = {}
     pool_start = time.perf_counter()
-    if workers > 1:
-        method = start_method or os.environ.get(
-            "REPRO_PARALLEL_START_METHOD", DEFAULT_START_METHOD)
-        crashed: List[int] = []
-        with ProcessPoolExecutor(max_workers=min(workers, len(tasks)),
-                                 mp_context=get_context(method)) as pool:
-            futures = [(index, task.job, pool.submit(run_analysis_job, task))
-                       for index, task in enumerate(tasks)]
-            for index, job, future in futures:
-                try:
-                    outcomes[job] = future.result()
-                except BrokenProcessPool:
-                    crashed.append(index)
-        if crashed:
-            names = [tasks[index].job for index in crashed]
-            raise WorkerCrashed(
-                crashed,
-                f"worker pool broke while running analysis job(s) "
-                f"{names}; no partial analyses were merged")
+    ephemeral = pool is None and workers >= 1
+    if ephemeral:
+        pool = WorkerPool(workers, start_method=start_method)
+    if pool is not None:
+        try:
+            refs = {id(side): _ship_side(pool, side)
+                    for side in (ntp, hitlist)}
+            shipped = [replace(task, results=None,
+                               results_ref=refs[id(task.results)])
+                       for task in tasks]
+            try:
+                for index, outcome in pool.map_in_order(run_analysis_job,
+                                                        shipped):
+                    outcomes[tasks[index].job] = outcome
+            except PoolBrokenError as exc:
+                names = [tasks[index].job for index in exc.lost]
+                raise WorkerCrashed(
+                    exc.lost,
+                    f"worker pool broke while running analysis job(s) "
+                    f"{names}; no partial analyses were merged") from exc
+        finally:
+            if ephemeral:
+                pool.close()
+        effective_workers = pool.workers
     else:
         for task in tasks:
             outcomes[task.job] = run_analysis_job(task)
+        effective_workers = 0
     pool_seconds = time.perf_counter() - pool_start
 
     registry = current_registry()
     for task in tasks:
         registry.merge(outcomes[task.job].metrics)
 
-    return _assemble(tasks, outcomes, asdb is not None, workers,
+    return _assemble(tasks, outcomes, asdb is not None, effective_workers,
                      pool_seconds)
 
 

@@ -17,13 +17,30 @@ Quickstart::
     study = api.study(ExperimentConfig(world=WorldConfig(scale=0.1)))
     print(study.report.tables["hit_rates"])    # headline numbers
     study.experiment.table1()                  # full result object
+
+Parallel execution is owned by :class:`ExecutionContext`: a context
+holds one persistent ``spawn`` worker pool plus its pickle-once
+snapshot cache, shared by every ``study``/``study_tables``/``analyze``
+/``resume`` call that passes ``ctx=``::
+
+    with api.ExecutionContext(workers=4) as ctx:
+        study = api.study(config, ctx=ctx)          # ships world once
+        tables = api.study_tables(study.experiment, ctx=ctx)
+        again = api.study(config, ctx=ctx)          # reuses the pool
+
+Entry points called with bare ``workers=`` (or a config whose
+``parallel_workers``/``workers`` field is positive) delegate to an
+implicit default context of that width, kept alive for the process and
+closed at interpreter exit — the backward-compatible face of the same
+machinery.
 """
 
 from __future__ import annotations
 
+import atexit
 from collections import Counter as TallyCounter
 from dataclasses import asdict, dataclass, field
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.analysis import devicetypes
 from repro.analysis.parallel import run_analysis
@@ -34,9 +51,128 @@ from repro.core.pipeline import ExperimentConfig, ExperimentResult, run_experime
 from repro.core.telescope import Telescope
 from repro.net.clock import DAY, HOUR, EventScheduler
 from repro.obs import MetricsRegistry, RunReport, use_registry
+from repro.runtime.pool import WorkerPool, resolve_workers
 from repro.scan.result import PROTOCOLS, ScanResults
 from repro.world.population import World, WorldConfig
 from repro.world.population import build_world as _build_world
+
+
+# -- execution contexts ------------------------------------------------------
+
+class ExecutionContext:
+    """Owner of one persistent worker pool and its snapshot cache.
+
+    ``workers=0`` is a valid, fully sequential context (its
+    :attr:`pool` is ``None``), so callers can thread one ``ctx``
+    through a pipeline unconditionally.  ``workers >= 1`` lazily spawns
+    a :class:`~repro.runtime.pool.WorkerPool` of that width (validated
+    and CPU-capped by the same :func:`~repro.runtime.pool.
+    resolve_workers` path every other worker knob uses) on first use
+    and keeps it — and its pickle-once world/results snapshot cache —
+    across every ``study``/``study_tables``/``analyze``/``resume``
+    call until :meth:`close`.
+
+    Use as a context manager::
+
+        with api.ExecutionContext(workers=4) as ctx:
+            first = api.study(config, ctx=ctx)
+            tables = api.study_tables(first.experiment, ctx=ctx)
+    """
+
+    def __init__(self, workers: int = 0, *,
+                 start_method: Optional[str] = None) -> None:
+        self.workers = resolve_workers(workers)
+        self.start_method = start_method
+        self._pool: Optional[WorkerPool] = None
+        self._closed = False
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def pool(self) -> Optional[WorkerPool]:
+        """The context's persistent pool (``None`` when sequential).
+
+        A pool whose workers died is replaced transparently — the
+        :class:`WorkerPool` itself respawns after a break, so the same
+        instance normally lives for the context's whole lifetime.
+        """
+        if self._closed:
+            raise RuntimeError(
+                "ExecutionContext is closed; create a new one to run "
+                "more work")
+        if self.workers < 1:
+            return None
+        if self._pool is None or self._pool.closed:
+            self._pool = WorkerPool(self.workers,
+                                    start_method=self.start_method)
+        return self._pool
+
+    def stats(self) -> dict:
+        """The pool's lifetime counters (spawn generations, batches,
+        snapshot ship/reuse tallies); empty before first pooled use."""
+        return dict(self._pool.stats) if self._pool is not None else {}
+
+    def close(self) -> None:
+        """Join the workers and drop the snapshot cache (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def __enter__(self) -> "ExecutionContext":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+#: Implicit contexts backing bare ``workers=`` calls, one per distinct
+#: (width, start method).  Persistent on purpose — that is what makes
+#: repeated ``api.study(config)`` calls amortize worker spawn — and
+#: closed at interpreter exit (tests close them between cases via
+#: :func:`shutdown_default_contexts` in the conftest leak guard).
+_DEFAULT_CONTEXTS: Dict[tuple, ExecutionContext] = {}
+
+
+def _default_context(workers: int,
+                     start_method: Optional[str] = None) -> ExecutionContext:
+    key = (workers, start_method)
+    ctx = _DEFAULT_CONTEXTS.get(key)
+    if ctx is None or ctx.closed:
+        ctx = ExecutionContext(workers, start_method=start_method)
+        _DEFAULT_CONTEXTS[key] = ctx
+    return ctx
+
+
+def shutdown_default_contexts() -> None:
+    """Close every implicit default :class:`ExecutionContext`.
+
+    Registered ``atexit``; test harnesses with child-process leak
+    guards call it explicitly so sanctioned persistent workers are
+    joined before the guard counts leftovers.
+    """
+    while _DEFAULT_CONTEXTS:
+        _, ctx = _DEFAULT_CONTEXTS.popitem()
+        ctx.close()
+
+
+atexit.register(shutdown_default_contexts)
+
+
+def _context_pool(ctx: Optional[ExecutionContext],
+                  workers: int) -> Optional[WorkerPool]:
+    """The pool a call should run on: the explicit context's, or an
+    implicit default context's for bare ``workers=`` calls."""
+    if ctx is not None:
+        return ctx.pool
+    workers = resolve_workers(workers)
+    if workers < 1:
+        return None
+    return _default_context(workers).pool
 
 
 # -- configs ----------------------------------------------------------------
@@ -85,14 +221,16 @@ class AnalyzeConfig:
     ntp_path: Optional[str] = None
     hitlist_path: Optional[str] = None
     run_dir: Optional[str] = None
-    #: Analysis process-pool size; 0/1 run the jobs inline.  Either way
-    #: the report is byte-identical modulo the ``parallel_analysis``
-    #: wall-clock table, which only appears when the pool engages.
+    #: Analysis worker-pool size; 0 runs the jobs inline, ``N >= 1``
+    #: uses an N-process pool (CPU-capped).  Either way the report is
+    #: byte-identical modulo the ``parallel_analysis`` wall-clock
+    #: table, which only appears when the pool engages.
     workers: int = 0
 
     def __post_init__(self) -> None:
-        if self.workers < 0:
-            raise ValueError(f"workers={self.workers}: must be >= 0")
+        # Same validation/cap path as ExperimentConfig.parallel_workers
+        # and the CLI --workers flags.
+        self.workers = resolve_workers(self.workers)
         if self.run_dir is None and (self.ntp_path is None
                                      or self.hitlist_path is None):
             raise ValueError(
@@ -189,21 +327,31 @@ def collect(config: Optional[CollectConfig] = None) -> CollectResult:
     return CollectResult(campaign=campaign_report, report=report)
 
 
-def study(config: Optional[ExperimentConfig] = None) -> StudyResult:
+def study(config: Optional[ExperimentConfig] = None, *,
+          ctx: Optional[ExecutionContext] = None) -> StudyResult:
     """Run the full study pipeline (collection + both scan paths).
 
     Set ``config.store_dir`` to stream the run into a durable
     :mod:`repro.store` directory that :func:`resume` can continue.
+
+    With ``config.parallel_workers > 0`` the batch scans and the
+    analysis fan-out run on ``ctx``'s persistent pool (an implicit
+    process-wide default context when ``ctx`` is omitted): repeated
+    studies against one world reuse spawned workers and ship the
+    world snapshot once per (world, pool) pair.
     """
     config = config or ExperimentConfig()
-    result = run_experiment(config)
+    pool = _context_pool(ctx, config.parallel_workers)
+    result = run_experiment(config, pool=pool)
     with use_registry(result.metrics):
-        tables = study_tables(result, workers=config.parallel_workers)
+        tables = study_tables(result, workers=config.parallel_workers,
+                              ctx=ctx)
     report = RunReport.build("study", asdict(config), result.metrics, tables)
     return StudyResult(experiment=result, report=report)
 
 
-def resume(run_dir: str) -> StudyResult:
+def resume(run_dir: str, *,
+           ctx: Optional[ExecutionContext] = None) -> StudyResult:
     """Continue an interrupted store-backed study to completion.
 
     Reads the run directory's stored config, replays the surviving WAL
@@ -218,26 +366,33 @@ def resume(run_dir: str) -> StudyResult:
     store = RunStore.open(run_dir)
     config = experiment_config_from_document(store.meta["config"],
                                              store_dir=str(run_dir))
-    result = run_experiment(config, resume=True)
+    pool = _context_pool(ctx, config.parallel_workers)
+    result = run_experiment(config, resume=True, pool=pool)
     with use_registry(result.metrics):
-        tables = study_tables(result, workers=config.parallel_workers)
+        tables = study_tables(result, workers=config.parallel_workers,
+                              ctx=ctx)
     report = RunReport.build("study", asdict(config), result.metrics, tables)
     return StudyResult(experiment=result, report=report)
 
 
-def study_tables(result: ExperimentResult, *, workers: int = 0) -> dict:
+def study_tables(result: ExperimentResult, *, workers: int = 0,
+                 ctx: Optional[ExecutionContext] = None) -> dict:
     """The headline tables of one experiment, as JSON-shaped rows.
 
-    ``workers > 1`` fans the independent analyses across a process
-    pool via :func:`repro.analysis.parallel.run_analysis`; every table
-    stays byte-identical to the sequential path, and the pool's
-    wall-clock observability lands in a ``parallel_analysis`` table
-    that deterministic-parity checks strip.
+    ``workers >= 1`` (or a parallel ``ctx``) fans the independent
+    analyses across a worker pool via
+    :func:`repro.analysis.parallel.run_analysis`; every table stays
+    byte-identical to the sequential path, and the pool's wall-clock
+    observability lands in a ``parallel_analysis`` table that
+    deterministic-parity checks strip.  Both campaign sides' results
+    ship to the pool once per (results, pool) pair, so re-tabulating
+    on a shared ``ctx`` skips the serialization pass.
     """
     table1 = result.table1()
     protocols = result.config.protocols or PROTOCOLS
+    pool = _context_pool(ctx, workers)
     bundle = run_analysis(result.ntp_scan, result.hitlist_scan,
-                          asdb=result.world.asdb, workers=workers)
+                          asdb=result.world.asdb, pool=pool)
     ntp_gap, hitlist_gap = bundle.security_gap()
     table3 = bundle.table3
     findings = devicetypes.new_or_underrepresented(table3)
@@ -247,7 +402,7 @@ def study_tables(result: ExperimentResult, *, workers: int = 0) -> dict:
         # metrics registry (which records simulated time only) and in
         # its own table so deterministic-parity checks can strip it.
         tables["parallel"] = result.parallel
-    if workers > 1:
+    if pool is not None:
         # Same rule for the analysis pool's timings.
         tables["parallel_analysis"] = bundle.timing
     tables.update({
@@ -347,8 +502,13 @@ def telescope(config: Optional[TelescopeConfig] = None) -> TelescopeResult:
     return TelescopeResult(telescope=scope, verdicts=verdicts, report=report)
 
 
-def analyze(config: AnalyzeConfig) -> AnalyzeResult:
-    """Re-run the analyses over saved scan results or a run store."""
+def analyze(config: AnalyzeConfig, *,
+            ctx: Optional[ExecutionContext] = None) -> AnalyzeResult:
+    """Re-run the analyses over saved scan results or a run store.
+
+    ``config.workers`` (or a parallel ``ctx``) selects the worker pool
+    exactly like :func:`study_tables`.
+    """
     from repro.io import load_results
 
     with use_registry() as registry:
@@ -368,8 +528,8 @@ def analyze(config: AnalyzeConfig) -> AnalyzeResult:
         # Inside the registry scope so the analysis_* series land in
         # this run's snapshot.  No AS database offline, so the key-reuse
         # sweep is skipped (the bundle's keyreuse dict stays empty).
-        bundle = run_analysis(ntp_scan, hitlist_scan,
-                              workers=config.workers)
+        pool = _context_pool(ctx, config.workers)
+        bundle = run_analysis(ntp_scan, hitlist_scan, pool=pool)
 
     table3 = bundle.table3
     ntp_gap, hitlist_gap = bundle.security_gap()
@@ -387,7 +547,7 @@ def analyze(config: AnalyzeConfig) -> AnalyzeResult:
                         "total": hitlist_gap.total},
         },
     }
-    if config.workers > 1:
+    if pool is not None:
         tables["parallel_analysis"] = bundle.timing
     report = RunReport.build("analyze", asdict(config), registry, tables)
     return AnalyzeResult(ntp_scan=ntp_scan, hitlist_scan=hitlist_scan,
@@ -399,6 +559,7 @@ __all__ = [
     "AnalyzeResult",
     "CollectConfig",
     "CollectResult",
+    "ExecutionContext",
     "ExperimentConfig",
     "MetricsRegistry",
     "RunReport",
@@ -410,6 +571,7 @@ __all__ = [
     "build_world",
     "collect",
     "resume",
+    "shutdown_default_contexts",
     "study",
     "study_tables",
     "telescope",

@@ -49,6 +49,17 @@ def _add_format(parser: argparse.ArgumentParser) -> None:
                              "RunReport JSON document (default table)")
 
 
+def _add_workers(parser: argparse.ArgumentParser) -> None:
+    # One flag, one meaning, every subcommand: the value feeds the same
+    # resolve_workers() validation/cap path as the config fields.
+    parser.add_argument("--workers", type=int, default=0,
+                        help="persistent worker-pool size shared by scan "
+                             "execution and analysis fan-out (default 0 = "
+                             "sequential; N >= 1 uses N processes, capped "
+                             "at CPU cores; results are byte-identical "
+                             "either way)")
+
+
 def _emit_json(report) -> int:
     print(document_to_json(report.as_document()))
     return 0
@@ -309,10 +320,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="skip the R&L-style pre-campaign")
     study.add_argument("--shards", type=int, default=1,
                        help="fan scan engines out over N shards (default 1)")
-    study.add_argument("--workers", type=int, default=0,
-                       help="run batch scans in N worker processes "
-                            "(default 0 = sequential; results are "
-                            "byte-identical either way)")
+    _add_workers(study)
     study.add_argument("--protocols",
                        help="comma-separated probe profile, e.g. ssh,coap "
                             "(default: all eight paper protocols)")
@@ -344,9 +352,7 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--run-dir", dest="run_dir",
                          help="analyze a run-store directory (from "
                               "`study --store`) instead of saved files")
-    analyze.add_argument("--workers", type=int, default=0,
-                         help="analysis process-pool size; 0/1 run "
-                              "inline (output is identical either way)")
+    _add_workers(analyze)
     analyze.set_defaults(func=cmd_analyze)
 
     store = sub.add_parser(

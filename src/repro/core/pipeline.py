@@ -24,7 +24,6 @@ results.
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
@@ -33,6 +32,7 @@ from repro.core.collector import CollectedDataset
 from repro.core.comparison import ComparisonTable, DatasetComparison
 from repro.core.realtime import RealTimeScanQueue
 from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.runtime.pool import WorkerPool, resolve_workers
 from repro.runtime.registry import ProbeRegistry, default_registry
 from repro.runtime.sharding import ShardedScanEngine
 from repro.scan.engine import EngineConfig, ScanEngine
@@ -82,15 +82,10 @@ class ExperimentConfig:
         if self.scan_shards < 1:
             raise ValueError(
                 f"scan_shards={self.scan_shards}: must be >= 1")
-        if self.parallel_workers < 0:
-            raise ValueError(
-                f"parallel_workers={self.parallel_workers}: must be >= 0 "
-                "(0 runs scans sequentially)")
-        cpus = os.cpu_count() or 1
-        if self.parallel_workers > cpus:
-            # More workers than cores only adds spawn cost; results are
-            # worker-count-invariant, so capping is behaviour-neutral.
-            self.parallel_workers = cpus
+        # One validation/cap path for every worker knob (the analyze
+        # config and the CLI flags go through the same function).
+        self.parallel_workers = resolve_workers(
+            self.parallel_workers, field="parallel_workers")
         if self.checkpoint_days < 1:
             raise ValueError(
                 f"checkpoint_days={self.checkpoint_days}: must be >= 1")
@@ -170,20 +165,22 @@ def _scanner_source(world: World) -> int:
 
 def _build_engine(world: World, source: int, config: EngineConfig,
                   registry: ProbeRegistry, shards: int, name: str,
-                  workers: int = 0):
+                  workers: int = 0, pool: Optional[WorkerPool] = None):
     """One scan engine — sharded and/or multiprocess when asked for.
 
     ``workers > 0`` wraps the sharded engine in the multiprocess batch
     backend: per-target feeds (the real-time path) stay in-process,
     while ``run`` — the hitlist campaign — fans shards out to a worker
-    pool with byte-identical merged results.
+    pool with byte-identical merged results.  ``pool`` hands both
+    engines one shared persistent :class:`WorkerPool`, so the world
+    snapshot ships once per pool, not once per engine run.
     """
     if workers > 0:
         from repro.runtime.parallel import ParallelShardedScanEngine
 
         return ParallelShardedScanEngine(
             world.network, source, config, registry=registry,
-            shards=shards, workers=workers, name=name)
+            shards=shards, workers=workers, name=name, pool=pool)
     if shards > 1:
         return ShardedScanEngine(world.network, source, config,
                                  registry=registry, shards=shards, name=name)
@@ -193,7 +190,8 @@ def _build_engine(world: World, source: int, config: EngineConfig,
 
 def run_experiment(config: Optional[ExperimentConfig] = None,
                    metrics: Optional[MetricsRegistry] = None,
-                   *, resume: bool = False) -> ExperimentResult:
+                   *, resume: bool = False,
+                   pool: Optional[WorkerPool] = None) -> ExperimentResult:
     """Run the complete study; deterministic in ``config``.
 
     Every run records into its own :class:`MetricsRegistry` (or the one
@@ -205,12 +203,25 @@ def run_experiment(config: Optional[ExperimentConfig] = None,
     interrupted run from that directory and continues it (deterministic
     replay: the simulation re-runs from genesis, verified record-by-
     record against the surviving log, then keeps going live).
+
+    ``pool`` is a caller-owned persistent :class:`WorkerPool` (usually
+    :class:`repro.api.ExecutionContext`'s): with
+    ``config.parallel_workers > 0`` the batch scans run on it and its
+    pickle-once snapshot cache survives this call.  Without one, a
+    parallel run uses a private pool closed before returning.
     """
     config = config or ExperimentConfig()
     registry = metrics if metrics is not None else MetricsRegistry()
-    with use_registry(registry):
-        writer = _open_store_writer(config, resume=resume)
-        result = _run_experiment(config, writer)
+    ephemeral = pool is None and config.parallel_workers > 0
+    if ephemeral:
+        pool = WorkerPool(config.parallel_workers)
+    try:
+        with use_registry(registry):
+            writer = _open_store_writer(config, resume=resume)
+            result = _run_experiment(config, writer, pool)
+    finally:
+        if ephemeral:
+            pool.close()
     result.metrics = registry
     return result
 
@@ -315,8 +326,8 @@ def _checkpoint_state(config: ExperimentConfig, world,
     }
 
 
-def _run_experiment(config: ExperimentConfig,
-                    writer=None) -> ExperimentResult:
+def _run_experiment(config: ExperimentConfig, writer=None,
+                    pool: Optional[WorkerPool] = None) -> ExperimentResult:
     world = build_world(config.world)
 
     rl_dataset: Optional[CollectedDataset] = None
@@ -343,7 +354,7 @@ def _run_experiment(config: ExperimentConfig,
         world, scanner_source,
         EngineConfig(drive_clock=False, seed=config.scan_seed),
         registry, config.scan_shards, name="ntp",
-        workers=config.parallel_workers,
+        workers=config.parallel_workers, pool=pool,
     )
     queue = RealTimeScanQueue(engine)
     campaign = CollectionCampaign(world, config.campaign, scan_queue=queue)
@@ -375,7 +386,7 @@ def _run_experiment(config: ExperimentConfig,
         world, scanner_source,
         EngineConfig(drive_clock=False, seed=config.scan_seed ^ 0xFF),
         registry, config.scan_shards, name="hitlist",
-        workers=config.parallel_workers,
+        workers=config.parallel_workers, pool=pool,
     )
     if writer is not None:
         hitlist_engine.attach_store(writer, label="hitlist")

@@ -32,7 +32,11 @@ _LAZY = {"ShardedScanEngine": "repro.runtime.sharding",
          "ParallelExecutionError": "repro.runtime.parallel",
          "WorkerCrashed": "repro.runtime.parallel",
          "NetworkView": "repro.runtime.snapshot",
-         "SnapshotError": "repro.runtime.snapshot"}
+         "SnapshotError": "repro.runtime.snapshot",
+         "WorkerPool": "repro.runtime.pool",
+         "PoolBrokenError": "repro.runtime.pool",
+         "SnapshotRef": "repro.runtime.pool",
+         "resolve_workers": "repro.runtime.pool"}
 
 
 def __getattr__(name):
@@ -53,14 +57,18 @@ __all__ = [
     "NetworkView",
     "ParallelExecutionError",
     "ParallelShardedScanEngine",
+    "PoolBrokenError",
     "ProbeRegistry",
     "ProbeSpec",
     "ShardedScanEngine",
     "SnapshotError",
+    "SnapshotRef",
     "Stage",
     "StageStats",
     "TargetScanned",
     "WorkerCrashed",
+    "WorkerPool",
     "default_registry",
+    "resolve_workers",
     "shard_of",
 ]

@@ -8,18 +8,29 @@ shard's batch of :meth:`run` targets in a worker process:
 1. targets are partitioned by the same
    :func:`~repro.runtime.sharding.shard_of` hash, tagged with their
    global arrival index;
-2. every non-empty shard becomes a picklable :class:`ShardTask` — the
-   shard's :class:`~repro.scan.engine.EngineConfig` (per-shard seed),
-   probe registry, ethics policy, prior cool-down map, and a
-   :class:`~repro.runtime.snapshot.NetworkView` of the shard's targets.
-   Workers never share live simnet objects: they rebuild a private
-   network and engine from the task (spawn-safe by construction);
-3. worker outcomes merge back **in shard order**: result buckets via
-   :meth:`ScanResults.merged`, stats and cool-down state into the
-   parent's shard engines, each worker's fresh
-   :class:`~repro.obs.metrics.MetricsRegistry` via
-   :meth:`MetricsRegistry.merge`, and store events replayed in global
-   arrival order through the shard engines' existing WAL sinks.
+2. the world ships **once per (world, pool) pair**: the engine captures
+   a full :meth:`~repro.runtime.snapshot.NetworkView.capture_full`
+   snapshot, spools it through :meth:`WorkerPool.ship`, and every
+   :class:`ShardTask` carries only a tiny
+   :class:`~repro.runtime.pool.SnapshotRef` plus the shard's
+   :class:`~repro.scan.engine.EngineConfig` (per-shard seed), probe
+   registry, ethics policy and prior cool-down map.  Re-running against
+   an unchanged world (same ``Network.version``, same clock) skips even
+   the pickling pass; workers rebuild a private network from the cached
+   snapshot, never sharing live simnet objects (spawn-safe by
+   construction);
+3. worker outcomes **stream** back in shard order: result buckets fold
+   incrementally via :meth:`ScanResults.absorb` the moment each shard's
+   turn comes, while parent-visible state (stats, cool-down maps,
+   metrics via :meth:`MetricsRegistry.merge`, store events replayed in
+   global arrival order through the shard engines' existing WAL sinks)
+   stays staged until every shard has succeeded — a crashed run merges
+   nothing.
+
+The pool itself may be *persistent*: pass ``pool=`` (usually via
+:class:`repro.api.ExecutionContext`) and the same spawned workers and
+snapshot cache serve every later run; otherwise each :meth:`run` uses a
+private single-batch pool, preserving the PR-4 behaviour.
 
 Determinism argument: in embedded mode (``drive_clock=False``) a scan
 neither advances the shared clock nor consumes engine rng (politeness
@@ -45,24 +56,19 @@ from __future__ import annotations
 import heapq
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field
-from multiprocessing import get_context
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.obs.metrics import COUNT_BUCKETS, MetricsRegistry, \
     current_registry, use_registry
+from repro.runtime.pool import DEFAULT_START_METHOD, PoolBrokenError, \
+    SnapshotRef, WorkerPool, load_snapshot
 from repro.runtime.registry import ProbeRegistry
 from repro.runtime.sharding import ShardedScanEngine, shard_of
-from repro.runtime.snapshot import NetworkView
+from repro.runtime.snapshot import NetworkView, diagnose_unpicklable
 from repro.scan.engine import EngineConfig, EngineStats, ScanEngine
 from repro.scan.ethics import EthicsPolicy
 from repro.scan.result import ScanResults
-
-#: Spawn is the only start method that is safe everywhere (no inherited
-#: locks/fds) and it forces the no-shared-state worker design honest.
-DEFAULT_START_METHOD = "spawn"
 
 #: Test hook: ``"<shard>:<position>"`` hard-kills the worker processing
 #: that shard right before it feeds its ``position``-th target.
@@ -99,10 +105,17 @@ class ShardTask:
     config: EngineConfig
     registry: ProbeRegistry
     ethics: Optional[EthicsPolicy]
-    view: NetworkView
+    #: Address of the pickle-once world snapshot (a full
+    #: :class:`~repro.runtime.snapshot.NetworkView`); every shard of a
+    #: run — and every run against an unchanged world — shares one.
+    view_ref: SnapshotRef
     #: ``(global_arrival_index, target)`` in arrival order.
     targets: List[Tuple[int, int]]
     cooldown: Dict[int, float]
+    #: Whether the parent will replay admit/grab events (a store is
+    #: attached).  Without a consumer the worker skips event capture
+    #: entirely — the events would double-ship every grab for nothing.
+    want_events: bool = True
 
 
 @dataclass
@@ -141,7 +154,10 @@ def scan_shard(task: ShardTask) -> ShardOutcome:
     """
     wall_start = time.perf_counter()
     cpu_start = time.process_time()
-    network = task.view.build()
+    view: NetworkView = load_snapshot(task.view_ref)
+    for _, target in task.targets:
+        view.ensure_target_shipped(target)
+    network = view.build()
     registry = MetricsRegistry()
     events: List[tuple] = []
     # The hooks close over the arrival cursor so every admit/grab event
@@ -152,10 +168,12 @@ def scan_shard(task: ShardTask) -> ShardOutcome:
         engine = ScanEngine(network, task.source, task.config, task.ethics,
                             task.registry, name=task.engine_name)
         engine.scheduler.load_cooldown(task.cooldown)
-        engine.scheduler.admit_hook = \
-            lambda target, now: events.append((cursor[0], "admit", target, now))
-        engine.executor.grab_hook = \
-            lambda grab: events.append((cursor[0], "grab", grab))
+        if task.want_events:
+            engine.scheduler.admit_hook = \
+                lambda target, now: events.append(
+                    (cursor[0], "admit", target, now))
+            engine.executor.grab_hook = \
+                lambda grab: events.append((cursor[0], "grab", grab))
         results = ScanResults(label=task.label)
         for position, (arrival, target) in enumerate(task.targets):
             _maybe_crash(task.shard, position)
@@ -194,8 +212,15 @@ class ParallelShardedScanEngine:
                  registry: Optional[ProbeRegistry] = None,
                  *, shards: int = 4, workers: int = 1,
                  name: str = "engine",
-                 start_method: Optional[str] = None) -> None:
-        if workers < 1:
+                 start_method: Optional[str] = None,
+                 pool: Optional[WorkerPool] = None) -> None:
+        self._pool = pool
+        if pool is not None:
+            # A shared pool owns the execution parameters: its workers
+            # are already spawned (or will be, once) with its settings.
+            workers = pool.workers
+            start_method = pool.start_method
+        elif workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self._inner = ShardedScanEngine(network, source, config, ethics,
                                         registry, shards=shards, name=name)
@@ -211,6 +236,10 @@ class ParallelShardedScanEngine:
         self._m_runs = self._metrics.counter("parallel_runs_total", engine=name)
         self._m_targets = self._metrics.counter("parallel_targets_total",
                                                 engine=name)
+        self._m_ship = self._metrics.counter("parallel_snapshot_ship_total",
+                                             engine=name)
+        self._m_reuse = self._metrics.counter("parallel_snapshot_reuse_total",
+                                              engine=name)
 
     # -- delegation (the ScanEngine/ShardedScanEngine contract) -----------
 
@@ -290,6 +319,41 @@ class ParallelShardedScanEngine:
                 "runs on private network replicas the taps cannot "
                 "observe; detach taps or scan sequentially")
 
+    def _ship_world(self, pool: WorkerPool) -> Tuple[SnapshotRef, bool]:
+        """The world's snapshot ref in ``pool``, pickling at most once.
+
+        The cache token is the world's *state identity*: the live
+        network object, its topology ``version`` and the clock reading
+        (embedded-mode grabs carry capture-time timestamps, so a moved
+        clock must invalidate).  Returns ``(ref, shipped)`` where
+        ``shipped`` says a new pickling pass actually ran.
+        """
+        network = self.network
+        token = ("network", id(network), network.version,
+                 network.clock.now())
+        ref = pool.lookup(token, anchor=network)
+        if ref is not None:
+            self._m_reuse.inc()
+            return ref, False
+        view = NetworkView.capture_full(network)
+        try:
+            ref = pool.ship(view, token=token, anchor=network)
+        except Exception as exc:
+            # Some host's service surface cannot pickle.  Re-capture
+            # with the offenders left out (and recorded): untargeted
+            # infrastructure ships fine, while probing a skipped host
+            # raises the typed error in ensure_target_shipped.
+            view = NetworkView.capture_full(network, skip_unpicklable=True)
+            try:
+                ref = pool.ship(view, token=token, anchor=network)
+            except Exception as fallback_exc:
+                diagnosed = diagnose_unpicklable(network, fallback_exc)
+                if diagnosed is fallback_exc:
+                    raise
+                raise diagnosed from exc
+        self._m_ship.inc()
+        return ref, True
+
     def run(self, targets: Iterable[int], label: str = "") -> ScanResults:
         """Scan a target list across the worker pool; merged results are
         byte-identical to :meth:`ShardedScanEngine.run` on the same
@@ -309,6 +373,28 @@ class ParallelShardedScanEngine:
                                     engine=self.name,
                                     shard=str(index)).observe(len(batch))
 
+        pool = self._pool
+        ephemeral = pool is None
+        if ephemeral:
+            pool = WorkerPool(self.workers, start_method=self.start_method)
+        try:
+            return self._run_in_pool(pool, partition, targets, label)
+        finally:
+            if ephemeral:
+                pool.close()
+
+    def _run_in_pool(self, pool: WorkerPool,
+                     partition: List[List[Tuple[int, int]]],
+                     targets: List[int], label: str) -> ScanResults:
+        ref: Optional[SnapshotRef] = None
+        shipped = False
+        if any(partition):
+            ref, shipped = self._ship_world(pool)
+
+        want_events = any(
+            engine.scheduler.admit_hook is not None
+            or engine.executor.grab_hook is not None
+            for engine in self._inner.engines)
         tasks = [
             ShardTask(
                 shard=index,
@@ -318,39 +404,38 @@ class ParallelShardedScanEngine:
                 config=engine.config,
                 registry=self.registry,
                 ethics=self.ethics,
-                view=NetworkView.capture(self.network,
-                                         (target for _, target in batch)),
+                view_ref=ref,
                 targets=batch,
                 cooldown=engine.scheduler.cooldown_state(),
+                want_events=want_events,
             )
             for index, (engine, batch) in
             enumerate(zip(self._inner.engines, partition)) if batch
         ]
 
+        # Stream outcomes in shard order: result buckets fold into a
+        # *local* accumulator as each shard's turn comes (empty shards
+        # contribute nothing, exactly like the sequential placeholders),
+        # while parent-visible state stays staged in ``outcomes`` until
+        # the whole batch succeeded — a crashed run merges nothing.
         outcomes: Dict[int, ShardOutcome] = {}
+        results = ScanResults(label=label)
         pool_start = time.perf_counter()
-        if tasks:
-            context = get_context(self.start_method)
-            crashed: List[int] = []
-            with ProcessPoolExecutor(max_workers=min(self.workers, len(tasks)),
-                                     mp_context=context) as pool:
-                futures = [(task.shard, pool.submit(scan_shard, task))
-                           for task in tasks]
-                for shard, future in futures:
-                    try:
-                        outcomes[shard] = future.result()
-                    except BrokenProcessPool:
-                        crashed.append(shard)
-            if crashed:
-                raise WorkerCrashed(
-                    crashed,
-                    f"worker pool broke while scanning shard(s) "
-                    f"{crashed} of engine {self.name!r}; no partial "
-                    "results were merged")
+        try:
+            for _, outcome in pool.map_in_order(scan_shard, tasks):
+                outcomes[outcome.shard] = outcome
+                results.absorb(outcome.results)
+        except PoolBrokenError as exc:
+            crashed = [tasks[index].shard for index in exc.lost]
+            raise WorkerCrashed(
+                crashed,
+                f"worker pool broke while scanning shard(s) "
+                f"{crashed} of engine {self.name!r}; no partial "
+                "results were merged") from exc
         pool_seconds = time.perf_counter() - pool_start
 
         merge_start = time.perf_counter()
-        results = self._merge(outcomes, partition, label)
+        self._commit(outcomes)
         merge_seconds = time.perf_counter() - merge_start
 
         busy = sum(outcome.wall_seconds for outcome in outcomes.values())
@@ -362,6 +447,17 @@ class ParallelShardedScanEngine:
             "merge_wall_seconds": merge_seconds,
             "busy_wall_seconds": busy,
             "idle_wall_seconds": max(0.0, self.workers * pool_seconds - busy),
+            "snapshot": {
+                "digest": ref.digest if ref else None,
+                "bytes": ref.size if ref else 0,
+                "shipped": shipped,
+                "reused": ref is not None and not shipped,
+            },
+            "pool": {
+                "persistent": self._pool is not None,
+                "generations": pool.stats["generations"],
+                "workers": pool.workers,
+            },
             "shards": [
                 {
                     "shard": index,
@@ -376,18 +472,16 @@ class ParallelShardedScanEngine:
         }
         return results
 
-    def _merge(self, outcomes: Dict[int, ShardOutcome],
-               partition: List[List[Tuple[int, int]]],
-               label: str) -> ScanResults:
-        """Fold worker outcomes into the parent, in shard order."""
-        parts: List[ScanResults] = []
+    def _commit(self, outcomes: Dict[int, ShardOutcome]) -> None:
+        """Fold worker outcomes into parent state, in shard order.
+
+        Runs only after *every* shard succeeded (the staged half of the
+        streaming merge); result buckets were already folded while
+        outcomes streamed in.
+        """
         suppressed = 0
-        for index in range(self.shards):
-            outcome = outcomes.get(index)
-            if outcome is None:
-                # Empty shard: same placeholder the sequential run makes.
-                parts.append(ScanResults(label=f"{label}/shard{index}"))
-                continue
+        for index in sorted(outcomes):
+            outcome = outcomes[index]
             engine = self._inner.engines[index]
             engine.scheduler.load_cooldown(outcome.cooldown)
             stats = engine.stats
@@ -400,13 +494,11 @@ class ParallelShardedScanEngine:
             stats.cooldown_pruned += delta.cooldown_pruned
             self._metrics.merge(outcome.metrics)
             suppressed += outcome.suppressed
-            parts.append(outcome.results)
         # Every parent shard engine shares one policy object, so the
         # suppression count folds in exactly once.
         if self.ethics is not None:
             self.ethics.suppressed += suppressed
         self._replay_events(outcomes)
-        return ScanResults.merged(parts, label=label)
 
     def _replay_events(self, outcomes: Dict[int, ShardOutcome]) -> None:
         """Re-emit worker admit/grab events through the parent shard

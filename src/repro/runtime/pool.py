@@ -1,0 +1,326 @@
+"""A persistent, spawn-safe worker pool with pickle-once snapshots.
+
+The PR-4 parallel backends were correct but slow: every ``run()`` call
+spawned a fresh ``ProcessPoolExecutor`` and re-pickled the complete
+world snapshot into it, so the committed sweep showed the pool *losing*
+to sequential.  This module is the fix, and the substrate both fan-out
+layers (:mod:`repro.runtime.parallel` for scan shards,
+:mod:`repro.analysis.parallel` for table/figure jobs) now share:
+
+:class:`WorkerPool`
+    Owns one ``spawn``-safe process pool that **outlives a single
+    engine run**.  Workers are started lazily on first submission and
+    reused by every later batch, so amortized runs pay task pickling
+    only — not process start-up.  A broken pool (worker death) is
+    discarded as a unit and respawned on the next submission, so a
+    persistent pool *recovers* instead of poisoning every later run.
+
+Pickle-once, ship-once snapshots
+    Large shared inputs (the world's :class:`~repro.runtime.snapshot.
+    NetworkView`, a campaign's :class:`~repro.scan.result.ScanResults`)
+    are serialized **once per (object state, pool) pair**: the payload
+    is pickled, content-hashed, and spooled to a snapshot file owned by
+    the pool; tasks then carry only a tiny :class:`SnapshotRef`.  Two
+    cache layers keep re-runs cheap:
+
+    * a parent-side *token* cache (:meth:`WorkerPool.lookup`) maps a
+      caller-supplied identity token — e.g. ``(id(network),
+      network.version, clock)`` — to an existing ref, skipping even
+      the pickling pass when the same live object is shipped again;
+    * a parent-side *digest* cache deduplicates byte-identical payloads
+      from different live objects (two identically seeded worlds ship
+      one file);
+    * a worker-side cache (:func:`load_snapshot`) keeps the last few
+      deserialized snapshots per worker process, so a persistent
+      worker unpickles each world once, not once per task.
+
+:func:`resolve_workers`
+    The single validation/cap path for every worker-count knob
+    (``ExperimentConfig.parallel_workers``, ``AnalyzeConfig.workers``,
+    the CLI ``--workers`` flags, :class:`repro.api.ExecutionContext`):
+    ``0`` means sequential, positive counts are capped at the
+    machine's CPU count (results are worker-count-invariant, so the
+    cap is behaviour-neutral), negatives are rejected with a
+    ``field=value`` message.
+
+Determinism is unchanged: the pool moves *where* tasks execute and how
+their inputs ship, never what they compute — the parity harness
+(:mod:`tests.parity`) still defines the contract, and the snapshot
+digest check on load guarantees a worker never scans a torn payload.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import shutil
+import tempfile
+import weakref
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from multiprocessing import get_context
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, \
+    Sequence, Tuple
+
+#: Spawn is the only start method that is safe everywhere (no inherited
+#: locks/fds) and it keeps the no-shared-state worker design honest.
+DEFAULT_START_METHOD = "spawn"
+
+#: Deserialized snapshots each worker process keeps resident.  Small:
+#: a study touches one or two worlds at a time, and evicted entries
+#: reload from the snapshot file, not from a fresh pickle pass.
+WORKER_CACHE_LIMIT = 4
+
+
+class PoolBrokenError(RuntimeError):
+    """The process pool broke (a worker died) while running a batch.
+
+    ``lost`` lists the indices (in submission order) of the tasks whose
+    results never arrived.  The pool has already discarded its broken
+    executor: the next submission respawns fresh workers, so a
+    persistent pool recovers instead of failing every later batch.
+    """
+
+    def __init__(self, lost: Iterable[int], message: str) -> None:
+        super().__init__(message)
+        self.lost: Tuple[int, ...] = tuple(lost)
+
+
+def resolve_workers(value: int, *, field: str = "workers") -> int:
+    """Validate and cap a worker-count setting; the one shared path.
+
+    ``0`` selects sequential execution everywhere; ``N >= 1`` selects a
+    pool of ``N`` processes, silently capped at the machine's CPU count
+    (more workers than cores only adds spawn cost, and results are
+    worker-count-invariant, so capping is behaviour-neutral).
+    """
+    if value < 0:
+        raise ValueError(
+            f"{field}={value}: must be >= 0 (0 runs sequentially)")
+    cpus = os.cpu_count() or 1
+    return min(int(value), cpus)
+
+
+@dataclass(frozen=True)
+class SnapshotRef:
+    """A pickle-once payload's address: tiny, picklable, content-keyed.
+
+    Tasks carry refs instead of payloads; workers resolve them through
+    :func:`load_snapshot`, which verifies ``digest`` before trusting
+    the bytes.
+    """
+
+    path: str
+    digest: str
+    size: int
+
+
+class WorkerPool:
+    """A reusable ``spawn`` process pool plus its snapshot cache.
+
+    Lifecycle: construction is cheap (no processes start); the executor
+    spawns lazily on the first :meth:`map_in_order` call and persists
+    across batches until :meth:`close`.  The pool is a context manager;
+    :class:`repro.api.ExecutionContext` is the library-facing owner.
+    """
+
+    def __init__(self, workers: int,
+                 start_method: Optional[str] = None) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = int(workers)
+        self.start_method = start_method or os.environ.get(
+            "REPRO_PARALLEL_START_METHOD", DEFAULT_START_METHOD)
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._dir: Optional[str] = None
+        self._closed = False
+        #: token -> (weakref-to-anchor | None, SnapshotRef)
+        self._by_token: Dict[tuple, Tuple[Optional[weakref.ref],
+                                          SnapshotRef]] = {}
+        #: content digest -> SnapshotRef (payload file already spooled)
+        self._by_digest: Dict[str, SnapshotRef] = {}
+        self.stats = {
+            "generations": 0,        # executors spawned (1 = never broke)
+            "batches": 0,
+            "tasks_submitted": 0,
+            "snapshots_shipped": 0,  # distinct payload files written
+            "snapshot_bytes": 0,
+            "snapshot_token_hits": 0,
+            "snapshot_digest_hits": 0,
+        }
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Join the workers and delete the snapshot spool directory."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        if self._dir is not None:
+            shutil.rmtree(self._dir, ignore_errors=True)
+            self._dir = None
+        self._by_token.clear()
+        self._by_digest.clear()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError(
+                "worker pool is closed; create a new WorkerPool (or a new "
+                "api.ExecutionContext) to run more work")
+
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        self._check_open()
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=get_context(self.start_method))
+            self.stats["generations"] += 1
+        return self._executor
+
+    def _discard_executor(self) -> None:
+        """Drop a broken executor so the next batch respawns workers."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    # -- snapshot shipping -------------------------------------------------
+
+    def _snapshot_dir(self) -> str:
+        if self._dir is None:
+            self._dir = tempfile.mkdtemp(prefix="repro-pool-")
+        return self._dir
+
+    def lookup(self, token: tuple, anchor: object = None
+               ) -> Optional[SnapshotRef]:
+        """The already-shipped ref for ``token``, or ``None``.
+
+        A hit requires the anchoring live object to still be the one
+        the token was registered for (checked via weakref identity), so
+        a recycled ``id()`` can never alias a dead object's snapshot.
+        A hit skips pickling entirely — this is the pickle-*once* path.
+        """
+        self._check_open()
+        entry = self._by_token.get(token)
+        if entry is None:
+            return None
+        anchor_ref, ref = entry
+        if anchor_ref is not None and anchor_ref() is not anchor:
+            del self._by_token[token]
+            return None
+        self.stats["snapshot_token_hits"] += 1
+        return ref
+
+    def ship(self, payload: object, *, token: Optional[tuple] = None,
+             anchor: object = None) -> SnapshotRef:
+        """Serialize ``payload`` into the pool's spool, once per content.
+
+        Byte-identical payloads share one file (the digest cache);
+        ``token``/``anchor`` additionally registers the fast-path
+        identity for :meth:`lookup`.  Raises whatever ``pickle`` raises
+        for unpicklable payloads — callers own the typed diagnosis.
+        """
+        self._check_open()
+        data = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        digest = hashlib.sha256(data).hexdigest()
+        ref = self._by_digest.get(digest)
+        if ref is None:
+            path = os.path.join(self._snapshot_dir(),
+                                f"snapshot-{digest[:24]}.pkl")
+            scratch = path + ".tmp"
+            with open(scratch, "wb") as handle:
+                handle.write(data)
+            os.replace(scratch, path)
+            ref = SnapshotRef(path=path, digest=digest, size=len(data))
+            self._by_digest[digest] = ref
+            self.stats["snapshots_shipped"] += 1
+            self.stats["snapshot_bytes"] += len(data)
+        else:
+            self.stats["snapshot_digest_hits"] += 1
+        if token is not None:
+            anchor_ref = weakref.ref(anchor) if anchor is not None else None
+            self._by_token[token] = (anchor_ref, ref)
+        return ref
+
+    # -- batched execution -------------------------------------------------
+
+    def map_in_order(self, fn: Callable, tasks: Sequence
+                     ) -> Iterator[Tuple[int, object]]:
+        """Submit every task up front; yield ``(index, outcome)`` in
+        submission order as results become available.
+
+        This is the streaming-merge entry point: the caller folds each
+        outcome the moment its turn comes instead of waiting for the
+        whole batch.  Ordinary task exceptions propagate unchanged; a
+        dead worker surfaces as one :exc:`PoolBrokenError` naming every
+        lost index *after* the surviving results have been yielded, and
+        leaves the pool ready to respawn.
+        """
+        if not tasks:
+            return
+        executor = self._ensure_executor()
+        futures = [executor.submit(fn, task) for task in tasks]
+        self.stats["batches"] += 1
+        self.stats["tasks_submitted"] += len(futures)
+        lost: List[int] = []
+        for index, future in enumerate(futures):
+            try:
+                yield index, future.result()
+            except BrokenProcessPool:
+                lost.append(index)
+        if lost:
+            self._discard_executor()
+            raise PoolBrokenError(
+                lost,
+                f"worker pool broke while running {len(lost)} of "
+                f"{len(futures)} task(s); the pool will respawn on the "
+                "next batch")
+
+
+# -- worker side -------------------------------------------------------------
+
+#: Per-worker-process snapshot cache: digest -> deserialized payload.
+#: Module-level on purpose — it must survive across tasks in one worker,
+#: which is exactly what makes a persistent pool pay.
+_WORKER_SNAPSHOTS: "OrderedDict[str, object]" = OrderedDict()
+
+
+def load_snapshot(ref: SnapshotRef) -> object:
+    """Resolve a :class:`SnapshotRef` inside a worker, caching the result.
+
+    The first task touching a snapshot reads and unpickles the spooled
+    file (verifying the content digest); every later task in the same
+    worker process gets the cached object back — ship-once, load-once.
+    """
+    cached = _WORKER_SNAPSHOTS.get(ref.digest)
+    if cached is not None:
+        _WORKER_SNAPSHOTS.move_to_end(ref.digest)
+        return cached
+    with open(ref.path, "rb") as handle:
+        data = handle.read()
+    digest = hashlib.sha256(data).hexdigest()
+    if digest != ref.digest:
+        raise RuntimeError(
+            f"snapshot {ref.path} digest mismatch (expected "
+            f"{ref.digest[:16]}…, read {digest[:16]}…); refusing to scan "
+            "a torn payload")
+    payload = pickle.loads(data)
+    _WORKER_SNAPSHOTS[ref.digest] = payload
+    while len(_WORKER_SNAPSHOTS) > WORKER_CACHE_LIMIT:
+        _WORKER_SNAPSHOTS.popitem(last=False)
+    return payload

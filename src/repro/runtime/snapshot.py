@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import pickle
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable, List, Set
 
 from repro.net.clock import VirtualClock
 from repro.net.simnet import Host, Network
@@ -44,19 +44,38 @@ class HostSpec:
     udp_handlers: Dict[int, object] = field(default_factory=dict)
 
 
-def _capture_host(host: Host) -> HostSpec:
+def _capture_host(host: Host, check: bool = True) -> HostSpec:
     spec = HostSpec(address=host.address, reachable=host.reachable,
                     tcp_services=dict(host.tcp_services),
                     udp_handlers=dict(host.udp_handlers))
-    try:
-        pickle.dumps((spec.tcp_services, spec.udp_handlers))
-    except Exception as exc:
-        raise SnapshotError(
-            f"host {host.address:#x} binds a service that cannot be "
-            f"pickled into a scan worker ({exc}); bind services as "
-            "factory objects (see repro.proto.http.HttpSessionFactory) "
-            "or scan this target set sequentially") from exc
+    if check:
+        try:
+            pickle.dumps((spec.tcp_services, spec.udp_handlers))
+        except Exception as exc:
+            raise SnapshotError(
+                f"host {host.address:#x} binds a service that cannot be "
+                f"pickled into a scan worker ({exc}); bind services as "
+                "factory objects (see repro.proto.http.HttpSessionFactory) "
+                "or scan this target set sequentially") from exc
     return spec
+
+
+def diagnose_unpicklable(network: Network, cause: Exception) -> Exception:
+    """The typed error for a whole-world pickle failure.
+
+    Full-world capture skips the per-host pickle probe (it would double
+    the serialization cost of the common, all-picklable case); when the
+    one-shot pickle of the assembled view fails instead, this walks the
+    hosts to name the offending service in a :class:`SnapshotError`.
+    Returns the original ``cause`` if no single host reproduces it.
+    """
+    for host in list(network._hosts.values()) \
+            + list(network._wildcards.values()):
+        try:
+            _capture_host(host, check=True)
+        except SnapshotError as exc:
+            return exc
+    return cause
 
 
 @dataclass
@@ -67,6 +86,14 @@ class NetworkView:
     hosts: Dict[int, HostSpec] = field(default_factory=dict)
     #: Aliased /64 personalities, keyed by the wildcard prefix.
     wildcards: Dict[int, HostSpec] = field(default_factory=dict)
+    #: Addresses (and wildcard prefix keys) whose hosts were *left out*
+    #: of a full capture because their service surface cannot pickle —
+    #: infrastructure like NTP pool servers binds closure-based
+    #: handlers the scan never targets.  Probing one of them from a
+    #: worker is refused (see :meth:`ensure_target_shipped`) so the
+    #: omission can never silently diverge from a sequential scan.
+    skipped_hosts: Set[int] = field(default_factory=set)
+    skipped_wildcards: Set[int] = field(default_factory=set)
 
     @classmethod
     def capture(cls, network: Network, targets: Iterable[int]) -> "NetworkView":
@@ -86,6 +113,64 @@ class NetworkView:
             else:
                 view.hosts[target] = spec
         return view
+
+    @classmethod
+    def capture_full(cls, network: Network,
+                     skip_unpicklable: bool = False) -> "NetworkView":
+        """Snapshot the *whole* network, independent of any target set.
+
+        This is what the persistent pool's pickle-once cache ships: one
+        target-independent view per world state, keyed by
+        ``(network, network.version, clock)``, reused by every run and
+        every shard against that world.
+
+        The default mode skips per-host pickle checks — the shipping
+        layer pickles the whole view in one pass, which is the fast,
+        all-picklable common case.  When that one-shot pickle fails
+        (real worlds hold infrastructure hosts with closure-based
+        handlers — NTP pool servers, collectors — that scans never
+        target), callers re-capture with ``skip_unpicklable=True``:
+        offending hosts are left out and recorded in
+        :attr:`skipped_hosts` / :attr:`skipped_wildcards`, and workers
+        refuse to probe their addresses via
+        :meth:`ensure_target_shipped` — so a target's outcome can
+        never silently diverge, exactly like the targeted
+        :meth:`capture` path's per-host :class:`SnapshotError`.
+        """
+        view = cls(clock_now=network.clock.now())
+        for address, host in network._hosts.items():
+            try:
+                view.hosts[address] = _capture_host(host,
+                                                    check=skip_unpicklable)
+            except SnapshotError:
+                view.skipped_hosts.add(address)
+        for key, host in network._wildcards.items():
+            try:
+                view.wildcards[key] = _capture_host(host,
+                                                    check=skip_unpicklable)
+            except SnapshotError:
+                view.skipped_wildcards.add(key)
+        return view
+
+    def ensure_target_shipped(self, target: int) -> None:
+        """Refuse targets whose host a full capture had to leave out.
+
+        Mirrors :meth:`~repro.net.simnet.Network.host` resolution: a
+        direct host shadows its /64 wildcard, so a present direct host
+        keeps its address probeable even under a skipped wildcard.
+        """
+        if target in self.skipped_hosts:
+            pass
+        elif target not in self.hosts and \
+                (target >> 64) in self.skipped_wildcards:
+            pass
+        else:
+            return
+        raise SnapshotError(
+            f"host {target:#x} binds a service that cannot be pickled "
+            "into a scan worker; bind services as factory objects (see "
+            "repro.proto.http.HttpSessionFactory) or scan this target "
+            "set sequentially")
 
     def build(self) -> Network:
         """Reconstruct an equivalent network around a frozen clock."""

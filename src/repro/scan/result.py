@@ -150,6 +150,21 @@ class ScanResults:
             raise TypeError(f"not a grab: {grab!r}")
         self.bucket(protocol).append(grab)
 
+    def absorb(self, part: "ScanResults") -> None:
+        """Fold one shard's results into this accumulator, in place.
+
+        The streaming half of :meth:`merged`: buckets extend in call
+        order, counters sum — so absorbing parts one at a time in shard
+        order is byte-identical to a single :meth:`merged` call over
+        the same sequence (the parallel backend folds each worker's
+        chunk the moment its shard's turn comes).
+        """
+        for protocol in part.protocols():
+            grabs = part.grabs(protocol)
+            if grabs:
+                self.bucket(protocol).extend(grabs)
+        self.targets_seen += part.targets_seen
+
     @classmethod
     def merged(cls, parts: Iterable["ScanResults"],
                label: str = "") -> "ScanResults":
@@ -161,11 +176,7 @@ class ScanResults:
         """
         merged = cls(label=label)
         for part in parts:
-            for protocol in part.protocols():
-                grabs = part.grabs(protocol)
-                if grabs:
-                    merged.bucket(protocol).extend(grabs)
-            merged.targets_seen += part.targets_seen
+            merged.absorb(part)
         return merged
 
     # -- aggregates (Table 2 columns) -----------------------------------

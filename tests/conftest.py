@@ -36,11 +36,20 @@ def _no_multiprocessing_leaks():
     leaks resources into every later test and hides shutdown bugs.  The
     pool's context manager joins its workers, so a short grace period
     only needs to absorb process-exit latency, not real work.
+
+    The implicit default :class:`api.ExecutionContext` pools are
+    *sanctioned* persistence (bare ``workers=`` calls keep their
+    workers alive for the process on purpose), so they are shut down
+    here before counting: a test using them stays green, while a test
+    leaking its own explicit context or pool still fails.
     """
     yield
     import multiprocessing
     import time
 
+    from repro import api
+
+    api.shutdown_default_contexts()
     children = multiprocessing.active_children()
     if children:
         deadline = time.monotonic() + 2.0

@@ -89,14 +89,19 @@ def run_sharded(make_world, targets, source, config, *, shards,
 
 
 def run_parallel(make_world, targets, source, config, *, shards, workers,
-                 label="parity"):
-    """One multiprocess scan on a fresh world, same contract."""
+                 label="parity", pool=None):
+    """One multiprocess scan on a fresh world, same contract.
+
+    ``pool`` reuses a caller-owned persistent :class:`WorkerPool`
+    (pool-reuse parity tests); omitted, the engine runs on a private
+    single-batch pool exactly like the PR-4 backend did.
+    """
     world = make_world()
     registry = MetricsRegistry()
     with use_registry(registry):
         engine = ParallelShardedScanEngine(world.network, source, config,
                                            shards=shards, workers=workers,
-                                           name="parity")
+                                           name="parity", pool=pool)
         results = engine.run(targets, label=label)
     return {"results": results, "engine": engine, "metrics": registry}
 

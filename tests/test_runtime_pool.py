@@ -1,0 +1,320 @@
+"""The persistent worker pool: snapshot cache, reuse parity, recovery.
+
+:mod:`tests.test_runtime_parallel` owns the per-run parity and refusal
+claims; this module exercises what is specific to pool *persistence* —
+the pickle-once/ship-once snapshot cache and its invalidation, reuse of
+spawned workers across engine runs and analysis calls (byte-identical
+to fresh-pool runs), worker death inside a pool that must outlive the
+broken batch, and the :class:`repro.api.ExecutionContext` lifecycle
+including the implicit default contexts behind bare ``workers=`` calls.
+"""
+
+import os
+
+import pytest
+
+from repro import api
+from repro.analysis.parallel import run_analysis
+from repro.ipv6 import parse
+from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.runtime.parallel import (
+    CRASH_ENV,
+    ParallelShardedScanEngine,
+    WorkerCrashed,
+)
+from repro.runtime.pool import (
+    PoolBrokenError,
+    WorkerPool,
+    load_snapshot,
+    resolve_workers,
+)
+from repro.scan.engine import EngineConfig
+from repro.world.population import WorldConfig, build_world
+from tests import parity
+
+SOURCE = parse("2001:db8:5ca7::10")
+WORLD = WorldConfig(seed=20240720, scale=0.02)
+
+
+def make_world():
+    return build_world(WORLD)
+
+
+@pytest.fixture(scope="module")
+def targets():
+    world = make_world()
+    hosts = sorted(world.network._hosts)
+    return hosts + [address ^ 0xDEAD for address in hosts[:40]]
+
+
+def embedded_config(**overrides):
+    defaults = dict(drive_clock=False, seed=0x7E57)
+    defaults.update(overrides)
+    return EngineConfig(**defaults)
+
+
+class _Anchor:
+    """A weakref-able stand-in for the live objects real callers anchor
+    snapshot tokens to (Network, ScanResults); plain dicts are not."""
+
+    def __init__(self, **attrs):
+        self.__dict__.update(attrs)
+
+
+class TestResolveWorkers:
+    def test_zero_means_sequential(self):
+        assert resolve_workers(0) == 0
+
+    def test_negative_rejected_with_field_name(self):
+        with pytest.raises(ValueError, match="parallel_workers=-3"):
+            resolve_workers(-3, field="parallel_workers")
+
+    def test_capped_at_cpu_count(self):
+        assert resolve_workers(10_000) == (os.cpu_count() or 1)
+
+    def test_small_counts_pass_through(self):
+        assert resolve_workers(1) == 1
+
+
+class TestSnapshotShipping:
+    def test_ship_spools_once_per_content(self):
+        with WorkerPool(1) as pool:
+            ref1 = pool.ship({"a": 1})
+            ref2 = pool.ship({"a": 1})
+            assert ref1 == ref2
+            assert pool.stats["snapshots_shipped"] == 1
+            assert pool.stats["snapshot_digest_hits"] == 1
+            assert os.path.getsize(ref1.path) == ref1.size
+
+    def test_token_lookup_skips_pickling(self):
+        payload = _Anchor(big=list(range(64)))
+        with WorkerPool(1) as pool:
+            token = ("test", id(payload))
+            assert pool.lookup(token, anchor=payload) is None
+            ref = pool.ship(payload, token=token, anchor=payload)
+            assert pool.lookup(token, anchor=payload) == ref
+            assert pool.stats["snapshot_token_hits"] == 1
+
+    def test_token_anchored_to_object_identity(self):
+        """A recycled id() can never alias a dead object's snapshot."""
+        first = _Anchor(x=1)
+        with WorkerPool(1) as pool:
+            token = ("test", 1234)
+            pool.ship(first, token=token, anchor=first)
+            impostor = _Anchor(x=2)
+            assert pool.lookup(token, anchor=impostor) is None
+
+    def test_load_snapshot_verifies_digest(self, tmp_path):
+        with WorkerPool(1) as pool:
+            ref = pool.ship(["payload"])
+            with open(ref.path, "ab") as handle:
+                handle.write(b"torn")
+            with pytest.raises(RuntimeError, match="digest mismatch"):
+                load_snapshot(ref)
+
+    def test_close_removes_spool_and_refuses_work(self):
+        pool = WorkerPool(1)
+        ref = pool.ship({"a": 1})
+        pool.close()
+        assert not os.path.exists(ref.path)
+        with pytest.raises(RuntimeError, match="closed"):
+            pool.ship({"b": 2})
+        pool.close()  # idempotent
+
+
+class TestPoolReuseParity:
+    def test_two_runs_one_pool_matches_fresh_pools(self, targets):
+        """Engine runs sharing one persistent pool are byte-identical
+        to fresh-pool runs, and the world ships exactly once."""
+        batch = targets[:120]
+        fresh = parity.run_parallel(make_world, batch, SOURCE,
+                                    embedded_config(), shards=4, workers=2)
+        with WorkerPool(2) as pool:
+            world = make_world()
+            registry = MetricsRegistry()
+            with use_registry(registry):
+                engine = ParallelShardedScanEngine(
+                    world.network, SOURCE, embedded_config(),
+                    shards=4, workers=2, name="parity", pool=pool)
+                first = engine.run(batch, label="parity")
+                second_engine = ParallelShardedScanEngine(
+                    world.network, SOURCE, embedded_config(),
+                    shards=4, workers=2, name="parity2", pool=pool)
+                second = second_engine.run(batch, label="parity")
+            # Embedded runs don't advance the clock or mutate topology,
+            # so run two is a pure snapshot-cache hit.
+            assert pool.stats["snapshots_shipped"] == 1
+            assert pool.stats["snapshot_token_hits"] == 1
+            assert engine.last_run_timing["snapshot"]["shipped"]
+            assert second_engine.last_run_timing["snapshot"]["reused"]
+            assert second_engine.last_run_timing["pool"]["persistent"]
+            assert pool.stats["generations"] == 1
+        parity.assert_results_equal(fresh["results"], first)
+        parity.assert_results_equal(fresh["results"], second)
+
+    def test_execution_context_reuse_byte_identical(self, targets):
+        """Two engine runs plus one analysis job on a single
+        ExecutionContext match fresh-pool outputs exactly."""
+        batch = targets[:100]
+        fresh = parity.run_parallel(make_world, batch, SOURCE,
+                                    embedded_config(), shards=4, workers=2)
+        with use_registry(MetricsRegistry()):
+            inline_bundle = run_analysis(fresh["results"], fresh["results"])
+        with api.ExecutionContext(workers=2) as ctx:
+            runs = []
+            for _ in range(2):
+                runs.append(parity.run_parallel(
+                    make_world, batch, SOURCE, embedded_config(),
+                    shards=4, workers=2, pool=ctx.pool))
+            with use_registry(MetricsRegistry()):
+                pooled_bundle = run_analysis(runs[0]["results"],
+                                             runs[0]["results"],
+                                             pool=ctx.pool)
+            stats = ctx.stats()
+            assert stats["generations"] == 1
+            # Two identically seeded worlds pickle to identical bytes:
+            # the digest cache keeps the spool at one world snapshot
+            # (plus the analysis results payload).
+            assert stats["snapshots_shipped"] == 2
+        for run in runs:
+            parity.assert_results_equal(fresh["results"], run["results"])
+            assert (parity.strip_parallel_metrics(run["metrics"])
+                    == parity.strip_parallel_metrics(fresh["metrics"]))
+        assert pooled_bundle.table3 == inline_bundle.table3
+        assert pooled_bundle.secure == inline_bundle.secure
+
+    def test_analysis_results_ship_once_per_pool(self):
+        from tests.test_analysis_fastpath import _synthetic_results
+
+        ntp = _synthetic_results("ntp")
+        hitlist = _synthetic_results("hitlist", salt=3)
+        with WorkerPool(2) as pool:
+            with use_registry(MetricsRegistry()):
+                first = run_analysis(ntp, hitlist, pool=pool)
+                second = run_analysis(ntp, hitlist, pool=pool)
+        assert pool.stats["snapshots_shipped"] == 2  # one per side
+        assert pool.stats["snapshot_token_hits"] == 2
+        assert first.table3 == second.table3
+
+
+class TestSnapshotInvalidation:
+    def test_topology_change_reships(self, targets):
+        batch = targets[:60]
+        world = make_world()
+        with WorkerPool(2) as pool:
+            with use_registry(MetricsRegistry()):
+                engine = ParallelShardedScanEngine(
+                    world.network, SOURCE, embedded_config(),
+                    shards=2, workers=2, pool=pool)
+                engine.run(batch, label="one")
+                world.network.add_host(parse("2001:db8::f00d"))
+                engine.run(batch, label="two")
+            assert pool.stats["snapshots_shipped"] == 2
+            assert pool.stats["snapshot_token_hits"] == 0
+
+    def test_clock_advance_reships(self, targets):
+        batch = targets[:60]
+        world = make_world()
+        with WorkerPool(2) as pool:
+            with use_registry(MetricsRegistry()):
+                engine = ParallelShardedScanEngine(
+                    world.network, SOURCE, embedded_config(),
+                    shards=2, workers=2, pool=pool)
+                engine.run(batch, label="one")
+                world.network.clock.advance(60.0)
+                engine.run(batch, label="two")
+            assert pool.stats["snapshots_shipped"] == 2
+
+    def test_unchanged_world_is_a_token_hit(self, targets):
+        batch = targets[:60]
+        world = make_world()
+        with WorkerPool(2) as pool:
+            with use_registry(MetricsRegistry()):
+                engine = ParallelShardedScanEngine(
+                    world.network, SOURCE, embedded_config(),
+                    shards=2, workers=2, pool=pool)
+                engine.run(batch, label="one")
+                engine.run(batch, label="two")
+            assert pool.stats["snapshots_shipped"] == 1
+            assert pool.stats["snapshot_token_hits"] == 1
+
+
+class TestWorkerDeathInPersistentPool:
+    def test_pool_recovers_after_worker_death(self, targets, monkeypatch):
+        """A dead worker breaks one batch (typed error, nothing merged)
+        and the same pool serves the next run on respawned workers."""
+        world = make_world()
+        batch = targets[:60]
+        with WorkerPool(2) as pool:
+            with use_registry(MetricsRegistry()):
+                engine = ParallelShardedScanEngine(
+                    world.network, SOURCE, embedded_config(),
+                    shards=2, workers=2, pool=pool)
+                monkeypatch.setenv(CRASH_ENV, "0:0")
+                with pytest.raises(WorkerCrashed) as excinfo:
+                    engine.run(batch, label="doomed")
+                assert excinfo.value.shards
+                assert engine.stats.targets_offered == 0
+                monkeypatch.delenv(CRASH_ENV)
+                results = engine.run(batch, label="recovered")
+            assert results.targets_seen == len(batch)
+            assert pool.stats["generations"] == 2
+
+    def test_map_in_order_names_lost_indices(self, monkeypatch):
+        monkeypatch.setenv(CRASH_ENV, "0:0")
+        from repro.runtime.parallel import ShardTask, scan_shard
+        world = make_world()
+        with WorkerPool(1) as pool:
+            from repro.runtime.snapshot import NetworkView
+            ref = pool.ship(NetworkView.capture_full(world.network))
+            task = ShardTask(
+                shard=0, engine_name="t", label="t", source=SOURCE,
+                config=embedded_config(), registry=None, ethics=None,
+                view_ref=ref, targets=[(0, sorted(world.network._hosts)[0])],
+                cooldown={})
+            with pytest.raises(PoolBrokenError) as excinfo:
+                list(pool.map_in_order(scan_shard, [task]))
+            assert excinfo.value.lost == (0,)
+
+
+class TestExecutionContext:
+    def test_sequential_context_has_no_pool(self):
+        with api.ExecutionContext(workers=0) as ctx:
+            assert ctx.pool is None
+            assert ctx.stats() == {}
+
+    def test_closed_context_refuses_pool(self):
+        ctx = api.ExecutionContext(workers=1)
+        ctx.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            ctx.pool
+        ctx.close()  # idempotent
+
+    def test_exit_joins_workers(self, targets):
+        world = make_world()
+        with api.ExecutionContext(workers=1) as ctx:
+            with use_registry(MetricsRegistry()):
+                engine = ParallelShardedScanEngine(
+                    world.network, SOURCE, embedded_config(),
+                    shards=2, workers=1, pool=ctx.pool)
+                engine.run(targets[:40], label="ctx")
+        import multiprocessing
+        import time
+        deadline = time.monotonic() + 2.0
+        while multiprocessing.active_children() and \
+                time.monotonic() < deadline:
+            time.sleep(0.05)
+        assert not multiprocessing.active_children()
+
+    def test_default_contexts_are_reused_and_shut_down(self):
+        api.shutdown_default_contexts()
+        first = api._default_context(1)
+        assert api._default_context(1) is first
+        assert not first.closed
+        api.shutdown_default_contexts()
+        assert first.closed
+        assert api._default_context(1) is not first
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(ValueError, match="workers=-1"):
+            api.ExecutionContext(workers=-1)

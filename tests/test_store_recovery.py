@@ -224,10 +224,12 @@ def test_worker_crash_then_resume_reaches_golden(tmp_path, clean_study,
     store = RunStore.open(run_dir)
     store.recover(repair=True)
     resumed = api.resume(str(run_dir))
-    # Minus the wall-clock-only "parallel" table, the resumed parallel
-    # study lands on the clean sequential study's tables exactly.
+    # Minus the wall-clock-only "parallel"/"parallel_analysis" tables,
+    # the resumed parallel study lands on the clean sequential study's
+    # tables exactly.
     resumed_tables = dict(resumed.report.tables)
     resumed_tables.pop("parallel", None)
+    resumed_tables.pop("parallel_analysis", None)
     assert resumed_tables == clean_study["study"].report.tables
     verify = RunStore.open(run_dir).verify()
     assert verify["ok"], verify["problems"]

@@ -1,0 +1,130 @@
+"""Benchmarks of the ``repro serve`` windowed-query front end.
+
+Two costs decide whether the service answers interactive dashboards or
+makes them wait: the cold path (checkpoint-anchored WAL replay per
+frame) and the warm path (LRU frame-cache hits).  The sweep measures
+queries/second and p50/p99 latency at 1, 4, and 16 concurrent clients
+against one shared :class:`QueryService`, then gates the cache: a warm
+query must be at least 3x faster than a cold one — ALWAYS armed, since
+a cache that fails to beat replay is dead weight.
+"""
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from benchmarks.conftest import write_report
+from repro import api
+from repro.core.campaign import CampaignConfig
+from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.report import fmt_int, render_table
+from repro.service import QueryService, ServiceConfig
+from repro.world.population import WorldConfig
+
+#: Campaign shape: long enough for several checkpoints and rolling
+#: windows, small enough to build in seconds.
+CAMPAIGN_DAYS = 8
+WINDOW_DAYS = 4
+STEP_DAYS = 2
+#: The cache-speedup floor (always armed — see module docstring).
+WARM_SPEEDUP_FLOOR = 3.0
+
+
+@pytest.fixture(scope="module")
+def service_store(tmp_path_factory):
+    run_dir = tmp_path_factory.mktemp("bench-service") / "campaign"
+    with use_registry(MetricsRegistry()):
+        api.run_campaign(ServiceConfig(
+            world=WorldConfig(seed=20240720, scale=0.05),
+            campaign=CampaignConfig(days=10 ** 9, wire_fraction=0.0),
+            store_dir=str(run_dir),
+            campaign_days=CAMPAIGN_DAYS,
+            checkpoint_days=3,
+            hitlist_days=4,
+            segment_max_records=2048,
+        ))
+    return run_dir
+
+
+def _timed_query(service):
+    start = time.perf_counter()
+    document = service.query(since=0.0, window=WINDOW_DAYS,
+                             step=STEP_DAYS)
+    elapsed = time.perf_counter() - start
+    assert document["windows"], "query returned no windows"
+    return elapsed
+
+
+def _percentile(samples, fraction):
+    ordered = sorted(samples)
+    return ordered[min(len(ordered) - 1, int(fraction * len(ordered)))]
+
+
+def test_cold_vs_warm_frame_cache(benchmark, service_store):
+    """The headline gate: warm cache >= 3x faster than cold replay."""
+    with use_registry(MetricsRegistry()):
+        cold_samples = []
+        for _ in range(3):
+            # A fresh service per round: empty cache, cold every time.
+            cold_samples.append(
+                _timed_query(QueryService(str(service_store),
+                                          window_days=WINDOW_DAYS,
+                                          step_days=STEP_DAYS)))
+        service = QueryService(str(service_store),
+                               window_days=WINDOW_DAYS,
+                               step_days=STEP_DAYS)
+        _timed_query(service)  # populate the cache
+
+        warm = benchmark(lambda: _timed_query(service))
+
+    cold = min(cold_samples)
+    warm = min(warm, min(benchmark.stats.stats.data))
+    speedup = cold / warm if warm > 0 else float("inf")
+
+    benchmark.extra_info.update({
+        "cold_s": cold,
+        "warm_s": warm,
+        "speedup": speedup,
+        "gate_armed": True,
+        "gate_status": ("armed-passed"
+                        if speedup >= WARM_SPEEDUP_FLOOR
+                        else "armed-failed"),
+    })
+    assert speedup >= WARM_SPEEDUP_FLOOR, (
+        f"warm frame cache only {speedup:.1f}x faster than cold replay "
+        f"(floor {WARM_SPEEDUP_FLOOR}x)")
+
+
+def test_concurrent_query_sweep(service_store):
+    """Queries/sec and tail latency at 1, 4, and 16 concurrent clients."""
+    rows = []
+    summary = {}
+    with use_registry(MetricsRegistry()):
+        service = QueryService(str(service_store),
+                               window_days=WINDOW_DAYS,
+                               step_days=STEP_DAYS)
+        _timed_query(service)  # one warm-up pass builds the frames
+        for clients in (1, 4, 16):
+            queries = clients * 8
+            began = time.perf_counter()
+            with ThreadPoolExecutor(clients) as pool:
+                latencies = list(pool.map(
+                    lambda _: _timed_query(service), range(queries)))
+            wall = time.perf_counter() - began
+            throughput = queries / wall
+            p50 = _percentile(latencies, 0.50) * 1e3
+            p99 = _percentile(latencies, 0.99) * 1e3
+            rows.append([str(clients), fmt_int(queries),
+                         fmt_int(int(throughput)),
+                         f"{p50:.2f}", f"{p99:.2f}"])
+            summary[clients] = throughput
+
+    text = render_table(
+        ["clients", "queries", "queries/s", "p50 ms", "p99 ms"], rows,
+        title=f"Windowed query service ({CAMPAIGN_DAYS}-day campaign, "
+              f"{WINDOW_DAYS}-day windows, warm cache)")
+    write_report("service", text)
+
+    # Concurrency must not collapse throughput below a single client's.
+    assert summary[16] > summary[1] / 4

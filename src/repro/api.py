@@ -226,6 +226,13 @@ class AnalyzeConfig:
     #: byte-identical modulo the ``parallel_analysis`` wall-clock
     #: table, which only appears when the pool engages.
     workers: int = 0
+    #: Windowed mode (``analyze --since/--window/--step``): setting
+    #: ``window`` switches the run-store path to rolling
+    #: :mod:`repro.service.query` tables.  All three are simulated
+    #: DAYS; ``since``/``step`` default to 0 / the window span.
+    since: Optional[float] = None
+    window: Optional[float] = None
+    step: Optional[float] = None
 
     def __post_init__(self) -> None:
         # Same validation/cap path as ExperimentConfig.parallel_workers
@@ -242,6 +249,27 @@ class AnalyzeConfig:
             raise ValueError(
                 f"run_dir={self.run_dir!r}: give either a run store or "
                 "saved-result paths, not both")
+        if self.window is None:
+            if self.since is not None:
+                raise ValueError(
+                    f"since={self.since}: rolling spans need --window")
+            if self.step is not None:
+                raise ValueError(
+                    f"step={self.step}: rolling spans need --window")
+        else:
+            if self.run_dir is None:
+                raise ValueError(
+                    f"window={self.window}: windowed analysis replays a "
+                    "run store; give run_dir, not saved-result paths")
+            if self.window <= 0:
+                raise ValueError(
+                    f"window={self.window}: must be positive days")
+            if self.since is not None and self.since < 0:
+                raise ValueError(
+                    f"since={self.since}: must be >= 0 days")
+            if self.step is not None and self.step <= 0:
+                raise ValueError(
+                    f"step={self.step}: must be positive days")
 
 
 # -- results ----------------------------------------------------------------
@@ -275,6 +303,22 @@ class TelescopeResult:
 class AnalyzeResult:
     ntp_scan: ScanResults
     hitlist_scan: ScanResults
+    report: RunReport
+
+
+@dataclass
+class CampaignResult:
+    """A finished (or gracefully stopped) longitudinal campaign."""
+
+    daemon: "object"
+    report: RunReport
+
+
+@dataclass
+class QueryResult:
+    """One windowed query's rolling series + run report."""
+
+    document: dict
     report: RunReport
 
 
@@ -361,9 +405,14 @@ def resume(run_dir: str, *,
     uninterrupted run's, modulo the ``store_*`` recovery metrics.
     """
     from repro.core.pipeline import experiment_config_from_document
+    from repro.service.config import is_service_document
     from repro.store import RunStore
 
     store = RunStore.open(run_dir)
+    if is_service_document(store.meta.get("config", {})):
+        raise ValueError(
+            f"run_dir={run_dir}: holds a service campaign, not a batch "
+            "study; use api.resume_campaign() instead")
     config = experiment_config_from_document(store.meta["config"],
                                              store_dir=str(run_dir))
     pool = _context_pool(ctx, config.parallel_workers)
@@ -511,6 +560,8 @@ def analyze(config: AnalyzeConfig, *,
     """
     from repro.io import load_results
 
+    if config.window is not None:
+        return _analyze_windowed(config, ctx=ctx)
     with use_registry() as registry:
         if config.run_dir is not None:
             from repro.store import read_study
@@ -554,14 +605,131 @@ def analyze(config: AnalyzeConfig, *,
                          report=report)
 
 
+def _analyze_windowed(config: AnalyzeConfig, *,
+                      ctx: Optional[ExecutionContext]) -> AnalyzeResult:
+    """``analyze --window``: rolling service tables over a run store.
+
+    The scan fields of the result are empty placeholders — a windowed
+    analysis produces per-window tables, not one merged result set.
+    """
+    from repro.service.frontend import QueryService
+
+    with use_registry() as registry:
+        service = QueryService(config.run_dir,
+                               window_days=config.window,
+                               step_days=config.step, ctx=ctx)
+        document = service.query(since=config.since)
+    tables = {
+        "window_query": {
+            "horizon_days": document["horizon"],
+            "since": document["since"],
+            "window": document["window"],
+            "step": document["step"],
+            "windows": len(document["windows"]),
+        },
+        "window_series": document["windows"],
+    }
+    report = RunReport.build("analyze", asdict(config), registry, tables)
+    return AnalyzeResult(ntp_scan=ScanResults(label="ntp"),
+                         hitlist_scan=ScanResults(label="hitlist"),
+                         report=report)
+
+
+# -- the measurement service -------------------------------------------------
+
+def run_campaign(config) -> CampaignResult:
+    """Run a longitudinal service campaign to its configured horizon.
+
+    Takes a :class:`repro.service.ServiceConfig`; ticks the
+    :class:`~repro.service.daemon.CampaignDaemon` one simulated day at
+    a time to ``campaign_days``, closing the store (final mark +
+    checkpoint) on the way out.
+    """
+    from repro.service.daemon import CampaignDaemon
+
+    with use_registry() as registry:
+        daemon = CampaignDaemon.create(config)
+        daemon.run()
+    report = RunReport.build("daemon", asdict(config), registry,
+                             daemon.tables())
+    return CampaignResult(daemon=daemon, report=report)
+
+
+def resume_campaign(run_dir: str) -> CampaignResult:
+    """Recover a crashed campaign daemon and run it to completion.
+
+    The deterministic-replay counterpart of :func:`resume` for service
+    stores: history is regenerated in verify mode, checked against the
+    surviving WAL record-for-record, and the campaign continues live
+    from the crash point to its configured horizon.
+    """
+    from repro.service.daemon import CampaignDaemon
+
+    with use_registry() as registry:
+        daemon = CampaignDaemon.resume(run_dir)
+        daemon.run()
+    report = RunReport.build("daemon", asdict(daemon.config), registry,
+                             daemon.tables())
+    return CampaignResult(daemon=daemon, report=report)
+
+
+def query_window(run_dir: str, *, since: float = 0.0,
+                 window: Optional[float] = None,
+                 step: Optional[float] = None,
+                 cache_frames: Optional[int] = None,
+                 ctx: Optional[ExecutionContext] = None) -> QueryResult:
+    """One rolling windowed query against a run store (spans in days).
+
+    ``window``/``step`` default to the store's recorded service
+    defaults (7/7 for batch-study stores); results come from bounded
+    checkpoint-anchored replay, never a full-WAL scan.
+    """
+    from repro.service.frontend import QueryService
+
+    with use_registry() as registry:
+        service = QueryService(run_dir, window_days=window,
+                               step_days=step, cache_frames=cache_frames,
+                               ctx=ctx)
+        document = service.query(since=since)
+    inputs = {"run_dir": str(run_dir), "since": since,
+              "window": service.window_days, "step": service.step_days}
+    report = RunReport.build("query", inputs, registry,
+                             {"window_query": document["windows"],
+                              "stats": service.stats()})
+    return QueryResult(document=document, report=report)
+
+
+def serve(run_dir: str, *, host: str = "127.0.0.1", port: int = 0,
+          window: Optional[float] = None, step: Optional[float] = None,
+          cache_frames: Optional[int] = None,
+          ctx: Optional[ExecutionContext] = None, daemon=None):
+    """Start a :class:`~repro.service.frontend.ServiceServer`.
+
+    Returns the started server (bind address in ``server.address``);
+    callers own the serve loop — ``server.serve_forever()`` for a
+    foreground CLI, ``server.shutdown()`` (or a ``shutdown`` command
+    on the wire) to stop.  ``daemon`` attaches a live
+    :class:`CampaignDaemon` whose final checkpoint is flushed on
+    graceful shutdown.
+    """
+    from repro.service.frontend import QueryService, ServiceServer
+
+    service = QueryService(run_dir, window_days=window, step_days=step,
+                           cache_frames=cache_frames, ctx=ctx)
+    return ServiceServer(service, host=host, port=port,
+                         daemon=daemon).start()
+
+
 __all__ = [
     "AnalyzeConfig",
     "AnalyzeResult",
+    "CampaignResult",
     "CollectConfig",
     "CollectResult",
     "ExecutionContext",
     "ExperimentConfig",
     "MetricsRegistry",
+    "QueryResult",
     "RunReport",
     "StudyResult",
     "TelescopeConfig",
@@ -570,7 +738,11 @@ __all__ = [
     "analyze",
     "build_world",
     "collect",
+    "query_window",
     "resume",
+    "resume_campaign",
+    "run_campaign",
+    "serve",
     "shutdown_default_contexts",
     "study",
     "study_tables",

@@ -7,10 +7,17 @@ Subcommands
 ``study``       run the full pipeline, print the headline tables
 ``telescope``   deploy third-party actors and run the Section-5 detector
 ``analyze``     re-run the analyses over saved JSONL scan results or a
-                run-store directory (``--run-dir``)
+                run-store directory (``--run-dir``); with ``--window``
+                (plus ``--since``/``--step``) emits rolling windowed
+                tables from checkpoint-anchored replay
 ``store``       inspect/verify/compact a durable run store
                 (``study --store`` writes one; ``study --resume``
                 continues an interrupted one)
+``daemon``      run (or ``--resume``) a longitudinal service campaign:
+                collection + scanning ticking day by day with world
+                evolution, checkpointing into a run store
+``serve``       answer concurrent windowed queries over a run store
+                through a JSONL TCP front end with a frame cache
 
 All commands are deterministic in ``--seed`` and scale with ``--scale``.
 Every subcommand is a thin wrapper over :mod:`repro.api` and accepts
@@ -201,7 +208,10 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         config = api.AnalyzeConfig(ntp_path=args.ntp,
                                    hitlist_path=args.hitlist,
                                    run_dir=args.run_dir,
-                                   workers=args.workers)
+                                   workers=args.workers,
+                                   since=args.since,
+                                   window=args.window,
+                                   step=args.step)
         result = api.analyze(config)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -209,6 +219,29 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     if args.format == "json":
         return _emit_json(result.report)
     tables = result.report.tables
+    if args.window is not None:
+        spec = tables["window_query"]
+        rows = []
+        for doc in tables["window_series"]:
+            targets = doc["targets"]
+            rates = doc["hit_rates"]
+            side = next(iter(rates))
+            rows.append([
+                f"{doc['window']['start'] / 86400.0:.0f}",
+                f"{doc['window']['end'] / 86400.0:.0f}",
+                fmt_int(targets.get(side, 0)),
+                fmt_int(targets.get("hitlist", 0)),
+                fmt_permille(rates[side]),
+                fmt_permille(rates["hitlist"]),
+            ])
+        print(render_table(
+            ["start d", "end d", "NTP targets", "hitlist targets",
+             "NTP hits", "hitlist hits"],
+            rows,
+            title=f"Rolling windows ({spec['windows']} x "
+                  f"{spec['window']:.0f} d, step {spec['step']:.0f} d, "
+                  f"horizon {spec['horizon_days']:.0f} d)"))
+        return 0
     print(render_table(
         ["HTML title group", "NTP #certs", "hitlist #certs"],
         [[row["group"][:44], fmt_int(row["ntp_certs"]),
@@ -266,6 +299,68 @@ def cmd_store(args: argparse.Namespace) -> int:
               f"through seq {document['compacted_through']}")
     if args.store_command == "verify" and not document["ok"]:
         return 1
+    return 0
+
+
+def cmd_daemon(args: argparse.Namespace) -> int:
+    """Run (or resume) a longitudinal service campaign."""
+    from repro.service import ServiceConfig
+
+    try:
+        if args.resume:
+            result = api.resume_campaign(args.resume)
+        else:
+            result = api.run_campaign(ServiceConfig(
+                world=_world_config(args),
+                store_dir=args.store,
+                campaign_days=args.days,
+                checkpoint_days=args.checkpoint_days,
+                hitlist_days=args.hitlist_days,
+            ))
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        return _emit_json(result.report)
+    tables = result.report.tables
+    campaign = tables["campaign"]
+    drift = tables["drift"]
+    pool = tables["pool"]
+    print(f"campaign: {campaign['days_run']} days, "
+          f"{fmt_int(campaign['addresses'])} addresses, "
+          f"{fmt_int(campaign['requests'])} requests")
+    for label, count in sorted(campaign["targets"].items()):
+        print(f"  targets[{label}]: {fmt_int(count)}")
+    print(f"drift: +{drift['devices_spawned']} / "
+          f"-{drift['devices_retired']} devices, "
+          f"+{drift['pool_joined']} / -{drift['pool_left']} pool members, "
+          f"{drift['hitlist_sweeps']} hitlist sweeps")
+    print(f"pool: {fmt_int(pool['background_members'])} background members, "
+          f"{pool['capture_servers']} capture servers")
+    print(f"store: {tables['store']['run_dir']} "
+          f"(last seq {fmt_int(tables['store']['last_seq'])})")
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Serve windowed queries over a run store until interrupted."""
+    try:
+        server = api.serve(args.run_dir, host=args.host, port=args.port,
+                           window=args.window, step=args.step,
+                           cache_frames=args.cache_frames)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    host, port = server.address
+    print(f"serving {args.run_dir} on {host}:{port} "
+          "(JSONL queries; send {\"cmd\": \"shutdown\"} to stop)",
+          file=sys.stderr)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
     return 0
 
 
@@ -353,6 +448,16 @@ def build_parser() -> argparse.ArgumentParser:
                          help="analyze a run-store directory (from "
                               "`study --store`) instead of saved files")
     _add_workers(analyze)
+    analyze.add_argument("--since", type=float, default=None,
+                         help="windowed mode: first window start, in "
+                              "simulated days (default 0)")
+    analyze.add_argument("--window", type=float, default=None,
+                         help="windowed mode: window span in simulated "
+                              "days; switches --run-dir analysis to "
+                              "rolling checkpoint-anchored tables")
+    analyze.add_argument("--step", type=float, default=None,
+                         help="windowed mode: stride between windows in "
+                              "days (default: the window span)")
     analyze.set_defaults(func=cmd_analyze)
 
     store = sub.add_parser(
@@ -367,6 +472,45 @@ def build_parser() -> argparse.ArgumentParser:
         command.add_argument("run_dir", help="run-store directory")
         _add_format(command)
         command.set_defaults(func=cmd_store)
+
+    daemon = sub.add_parser(
+        "daemon", help="run a longitudinal service campaign")
+    _add_common(daemon)
+    _add_format(daemon)
+    daemon.add_argument("--store",
+                        help="run-store directory the daemon appends to "
+                             "(required unless --resume)")
+    daemon.add_argument("--days", type=int, default=21,
+                        help="simulated campaign days (default 21)")
+    daemon.add_argument("--checkpoint-days", type=int, default=7,
+                        dest="checkpoint_days",
+                        help="days between checkpoints (default 7)")
+    daemon.add_argument("--hitlist-days", type=int, default=7,
+                        dest="hitlist_days",
+                        help="days between hitlist sweeps; 0 disables "
+                             "(default 7)")
+    daemon.add_argument("--resume", metavar="RUN_DIR",
+                        help="recover a crashed campaign from its run "
+                             "directory (other flags are ignored)")
+    daemon.set_defaults(func=cmd_daemon)
+
+    serve = sub.add_parser(
+        "serve", help="serve windowed queries over a run store")
+    serve.add_argument("run_dir", help="run-store directory to serve")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="TCP port (default 0 = ephemeral, printed "
+                            "on stderr)")
+    serve.add_argument("--window", type=float, default=None,
+                       help="default window span in days (default: the "
+                            "store's recorded service setting)")
+    serve.add_argument("--step", type=float, default=None,
+                       help="default window stride in days")
+    serve.add_argument("--cache-frames", type=int, default=None,
+                       dest="cache_frames",
+                       help="LRU capacity of the materialized-frame "
+                            "cache (default: the store's setting)")
+    serve.set_defaults(func=cmd_serve)
 
     telescope = sub.add_parser("telescope",
                                help="detect NTP-sourcing scanners")

@@ -95,6 +95,12 @@ class CollectionCampaign:
         self.capture_servers: Dict[int, CaptureServer] = {}
         self._capture_locations: Dict[int, str] = {}
         self._background_servers: List[NtpServer] = []
+        #: Every background member's pool address (dead ones included),
+        #: in registration order — the leave-churn candidate set.
+        self._background_addresses: List[int] = []
+        #: Next free infrastructure-address index (advanced by _deploy,
+        #: then by mid-campaign joins).
+        self._infra_cursor = 0
         self._deploy()
         self.wire_queries = 0
         self.fast_queries = 0
@@ -137,6 +143,7 @@ class CollectionCampaign:
                 self.pool.register(address, country.code.lower(),
                                    netspeed=self.config.background_netspeed,
                                    operator="background")
+                self._background_addresses.append(address)
         for code in self.config.deployment:
             country = self.world.geo.country(code)
             if country.competing_servers == 0:
@@ -151,6 +158,73 @@ class CollectionCampaign:
             self.pool.register(address, code.lower(),
                                netspeed=self.config.netspeed,
                                operator="study")
+        self._infra_cursor = index
+
+    # -- mid-campaign pool churn (the service daemon's lever) ----------------
+
+    def add_background_server(self, country_code: str, *,
+                              dead: bool = False) -> int:
+        """A new background member joins its country zone mid-campaign.
+
+        The real pool's membership is never static over a multi-week
+        window: operators join, leave, and fail.  ``dead=True`` models a
+        member that registers but answers nothing (same as the
+        ``background_dead_rate`` share at deployment).  Returns the new
+        member's address.
+        """
+        address = self._infrastructure_prefix(self._infra_cursor)
+        self._infra_cursor += 1
+        if not dead:
+            self._background_servers.append(
+                NtpServer(self.world.network, address,
+                          location=f"bg-{country_code}"))
+        self.pool.register(address, country_code.lower(),
+                           netspeed=self.config.background_netspeed,
+                           operator="background")
+        self._background_addresses.append(address)
+        return address
+
+    def remove_background_server(self, address: int) -> None:
+        """De-advertise one background member (it leaves rotation)."""
+        self.pool.deregister(address)
+        self._background_addresses.remove(address)
+
+    def remove_random_background(self,
+                                 rng: random.Random) -> Optional[int]:
+        """De-advertise a random background member; None if none left."""
+        if not self._background_addresses:
+            return None
+        address = rng.choice(self._background_addresses)
+        self.remove_background_server(address)
+        return address
+
+    def background_pool_size(self) -> int:
+        """Background members still advertised (dead ones included)."""
+        return len(self._background_addresses)
+
+    # -- mid-campaign population drift ---------------------------------------
+
+    def adopt_client(self, device) -> None:
+        """Add a drifted-in NTP client to the frozen collection roster.
+
+        :meth:`start` freezes the roster once; long-running campaigns
+        grow it explicitly through this hook so the wire-path sample
+        stays consistent (each new device draws its wire membership from
+        the same campaign RNG stream as the founders).
+        """
+        self.start()
+        self._clients.append(device)
+        if self.rng.random() < self.config.wire_fraction:
+            self._wire_devices.add(id(device))
+
+    def retire_client(self, device) -> None:
+        """Drop a retired device from the roster (idempotent)."""
+        self.start()
+        try:
+            self._clients.remove(device)
+        except ValueError:
+            pass
+        self._wire_devices.discard(id(device))
 
     def deregister_all(self) -> None:
         """De-advertise our servers (the wind-down grace period)."""

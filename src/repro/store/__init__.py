@@ -21,7 +21,11 @@ from repro.store.checkpoint import (
     load_checkpoint,
     save_checkpoint,
 )
-from repro.store.reader import IncrementalStudyReader, read_study
+from repro.store.reader import (
+    CompactedBehindReader,
+    IncrementalStudyReader,
+    read_study,
+)
 from repro.store.runstore import Recovery, RunStore
 from repro.store.wal import (
     RecoveryError,
@@ -39,6 +43,7 @@ from repro.store.writer import StoreWriter
 
 __all__ = [
     "Checkpoint",
+    "CompactedBehindReader",
     "IncrementalStudyReader",
     "Recovery",
     "RecoveryError",

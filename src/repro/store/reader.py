@@ -24,9 +24,22 @@ from typing import Dict, Union
 from repro.obs.metrics import current_registry
 from repro.scan.result import ScanResults
 from repro.store.runstore import RunStore
-from repro.store.wal import WalReader
+from repro.store.wal import WalError, WalReader
 
 PathLike = Union[str, Path]
+
+
+class CompactedBehindReader(WalError):
+    """Compaction deleted records an open incremental reader still needs.
+
+    ``repro store compact`` records its horizon in ``meta.json``
+    *before* deleting segments; an :class:`IncrementalStudyReader`
+    whose fold position lags behind that horizon would silently skip
+    the deleted records on its next :meth:`~IncrementalStudyReader.
+    refresh` (the WAL reader cannot distinguish "compacted away" from
+    "never written").  Raising instead makes the gap explicit: reopen
+    with :func:`read_study` to analyze the surviving suffix.
+    """
 
 
 class IncrementalStudyReader:
@@ -51,9 +64,23 @@ class IncrementalStudyReader:
         return results
 
     def refresh(self) -> int:
-        """Fold records appended since the last call; returns how many."""
+        """Fold records appended since the last call; returns how many.
+
+        Raises :class:`CompactedBehindReader` if the store was compacted
+        past this reader's fold position since the last refresh (the
+        horizon is re-read from ``meta.json``, so compaction by another
+        process is detected too).
+        """
         from repro.io.jsonl import grab_from_json
 
+        meta = self.store.reload_meta()
+        horizon = meta.get("compacted_through", 0)
+        if horizon > self.last_seq:
+            raise CompactedBehindReader(
+                f"{self.store.run_dir}: store compacted through seq "
+                f"{horizon} but this reader last folded seq "
+                f"{self.last_seq}; the records in between were deleted — "
+                "reopen with read_study() to analyze the surviving suffix")
         reader = WalReader(self.store.wal_dir, start_seq=self.last_seq + 1,
                            chain=self._chain)
         folded = 0

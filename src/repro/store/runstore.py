@@ -125,6 +125,18 @@ class RunStore:
                 f"{path}: unsupported store version {meta.get('version')}")
         return cls(run_dir, meta)
 
+    def reload_meta(self) -> Dict:
+        """Re-read ``meta.json`` from disk (another process may have
+        compacted).  A mid-replace read keeps the in-memory copy —
+        ``_save_meta``'s atomic rename guarantees the *next* read sees a
+        complete document."""
+        path = self.run_dir / META_NAME
+        try:
+            self.meta = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            pass
+        return self.meta
+
     def _save_meta(self) -> None:
         # Same commit protocol as checkpoints: the rename is atomic, so
         # meta either reflects the old horizon or the new one — crashes

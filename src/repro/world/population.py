@@ -328,6 +328,55 @@ def _client_vendor_table(continent: str):
     return _CLIENT_VENDORS_OTHER
 
 
+def spawn_client_device(world: World, site: Premises,
+                        rng: random.Random) -> Optional[dev.Device]:
+    """A new consumer device joins an existing premises mid-campaign.
+
+    Population drift for long-running (service) campaigns: households
+    buy phones, TVs, and consoles between collection weeks, so the NTP
+    client population grows over a multi-week window.  Mirrors the
+    build-time client sampling in ``_populate_premises`` (same vendor
+    mix per continent, same 24 % EUI-64 share) so drifted devices are
+    statistically indistinguishable from founding ones.  ``rng`` is the
+    caller's dedicated drift stream — the world's own RNG is never
+    touched, so existing build/churn sequences stay byte-stable.
+
+    Returns ``None`` when the premises' /56 is full (256 /64 slots).
+    """
+    slot = len(site.devices)
+    if slot >= 256:
+        return None
+    continent = world.geo.country(site.country).continent
+    vendor = _weighted(rng, _client_vendor_table(continent))
+    use_eui64 = rng.random() < 0.24
+    mac = world.fresh_mac(vendor) if use_eui64 else None
+    device = dev.make_client_device(
+        rng, site.site_id, mac, vendor,
+        addressing="eui64" if use_eui64 else "privacy")
+    site.devices.append(device)
+    return _place(world, device, site.asn, site.country,
+                  site.device_prefix64(slot))
+
+
+def retire_client_device(world: World, site: Premises,
+                         device: dev.Device) -> None:
+    """Take a consumer device offline for good (population drift).
+
+    The device object stays in ``world.devices`` (it existed; collected
+    history referencing its addresses remains valid) but leaves the
+    premises roster, stops emitting NTP, and disappears from the
+    network — so future churn rotations and collection days no longer
+    see it.
+    """
+    device.ntp_interval = None
+    device.reachable = False
+    world.network.remove_host(device.address)
+    try:
+        site.devices.remove(device)
+    except ValueError:
+        pass
+
+
 def _make_router(world: World, rng: random.Random, index: int,
                  country: str, continent: str) -> dev.Device:
     bucket = "DE" if country == "DE" else ("EU" if continent == "EU" else "OTHER")

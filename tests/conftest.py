@@ -96,3 +96,43 @@ def experiment():
         final_days=7,
     )
     return run_experiment(config)
+
+
+def service_config(store_dir, **overrides):
+    """A small-but-interesting service-campaign config.
+
+    ``checkpoint_days=3`` keeps a checkpoint within anchor-slack reach
+    of every multi-day window start, and the small segment cap forces
+    window replays to cross WAL segment boundaries.  The CI
+    ``service-longitudinal`` job stretches the horizon to three
+    simulated weeks via ``REPRO_SERVICE_DAYS``.
+    """
+    import os
+
+    from repro.service import ServiceConfig
+
+    defaults = dict(
+        world=small_world_config(scale=0.05),
+        campaign=CampaignConfig(days=10 ** 9, wire_fraction=0.0),
+        store_dir=str(store_dir),
+        campaign_days=int(os.environ.get("REPRO_SERVICE_DAYS", "8")),
+        checkpoint_days=3,
+        hitlist_days=4,
+        segment_max_records=512,
+    )
+    defaults.update(overrides)
+    return ServiceConfig(**defaults)
+
+
+@pytest.fixture(scope="session")
+def service_run(tmp_path_factory):
+    """One finished longitudinal campaign, shared read-only.
+
+    Returns ``(result, run_dir)``; tests that mutate the store
+    (compaction, crash/resume) build their own.
+    """
+    from repro import api
+
+    run_dir = tmp_path_factory.mktemp("service") / "campaign"
+    result = api.run_campaign(service_config(run_dir))
+    return result, run_dir

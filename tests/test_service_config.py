@@ -1,0 +1,126 @@
+"""ServiceConfig / AnalyzeConfig validation and round-trip contracts.
+
+The service config persists in ``meta.json`` exactly like the batch
+``ExperimentConfig``, so the asdict → JSON → ``service_config_from_
+document`` loop must be the identity — a resumed daemon rebuilds its
+configuration from nothing but the run directory.
+"""
+
+import json
+from dataclasses import asdict
+
+import pytest
+
+from repro import api
+from repro.core.campaign import CampaignConfig
+from repro.service import (
+    ServiceConfig,
+    is_service_document,
+    service_config_from_document,
+)
+
+
+def make_config(**overrides):
+    defaults = dict(store_dir="/tmp/example-run")
+    defaults.update(overrides)
+    return ServiceConfig(**defaults)
+
+
+# -- validation (house style: errors lead with field=value) -----------------
+
+def test_store_dir_is_required():
+    with pytest.raises(ValueError, match="store_dir=None"):
+        ServiceConfig()
+
+
+@pytest.mark.parametrize("field,value", [
+    ("campaign_days", 0),
+    ("checkpoint_days", 0),
+    ("hitlist_days", -1),
+    ("scan_shards", 0),
+    ("drift_spawn_rate", 1.5),
+    ("drift_retire_rate", -0.1),
+    ("pool_join_rate", 2.0),
+    ("pool_leave_rate", -1.0),
+    ("window", 0),
+    ("step", 0),
+    ("serve_cache_frames", 0),
+    ("segment_max_records", 0),
+    ("fsync_every", 0),
+])
+def test_rejects_out_of_range_knobs(field, value):
+    with pytest.raises(ValueError, match=f"{field}={value}"):
+        make_config(**{field: value})
+
+
+def test_rejects_unknown_protocols():
+    with pytest.raises(ValueError, match="protocols=ssh,nope"):
+        make_config(protocols=("ssh", "nope"))
+
+
+def test_rejects_empty_protocol_tuple():
+    with pytest.raises(ValueError, match="protocols="):
+        make_config(protocols=())
+
+
+def test_hitlist_days_zero_disables_sweeps():
+    assert make_config(hitlist_days=0).hitlist_days == 0
+
+
+# -- document round trip ----------------------------------------------------
+
+def test_round_trips_through_json_document():
+    config = make_config(
+        campaign=CampaignConfig(label="svc", wire_fraction=0.0),
+        campaign_days=14, checkpoint_days=2, hitlist_days=3,
+        protocols=("ssh", "http"), drift_spawn_rate=0.05,
+        window=3, step=1, serve_cache_frames=8)
+    document = json.loads(json.dumps(asdict(config)))
+    rebuilt = service_config_from_document(document)
+    assert rebuilt == config
+    # Moved run directories resume in place via the override.
+    moved = service_config_from_document(document, store_dir="/elsewhere")
+    assert moved.store_dir == "/elsewhere"
+
+
+def test_document_kind_discrimination():
+    from repro.core.pipeline import ExperimentConfig
+
+    service_doc = json.loads(json.dumps(asdict(make_config())))
+    batch_doc = json.loads(json.dumps(asdict(ExperimentConfig())))
+    assert is_service_document(service_doc)
+    assert not is_service_document(batch_doc)
+
+
+# -- AnalyzeConfig windowed knobs -------------------------------------------
+
+def test_analyze_window_requires_run_dir():
+    with pytest.raises(ValueError, match="window=7"):
+        api.AnalyzeConfig(ntp_path="a.jsonl", hitlist_path="b.jsonl",
+                          window=7)
+
+
+@pytest.mark.parametrize("kwargs,lead", [
+    (dict(since=1.0), "since=1.0"),
+    (dict(step=2.0), "step=2.0"),
+])
+def test_analyze_since_step_require_window(kwargs, lead):
+    with pytest.raises(ValueError, match=lead):
+        api.AnalyzeConfig(run_dir="/tmp/run", **kwargs)
+
+
+@pytest.mark.parametrize("kwargs,lead", [
+    (dict(window=0), "window=0"),
+    (dict(window=7, since=-1), "since=-1"),
+    (dict(window=7, step=0), "step=0"),
+])
+def test_analyze_rejects_bad_spans(kwargs, lead):
+    with pytest.raises(ValueError, match=lead):
+        api.AnalyzeConfig(run_dir="/tmp/run", **kwargs)
+
+
+def test_analyze_windowed_config_round_trips():
+    config = api.AnalyzeConfig(run_dir="/tmp/run", since=2.0, window=7.0,
+                               step=3.5)
+    document = json.loads(json.dumps(asdict(config)))
+    assert api.AnalyzeConfig(**document) == config

@@ -5,12 +5,13 @@ import random
 import time
 
 from benchmarks.conftest import write_report
+from repro import api
 from repro.core.campaign import CampaignConfig
 from repro.core.pipeline import ExperimentConfig, run_experiment
 from repro.ipv6 import parse
 from repro.net.simnet import Network
 from repro.obs import Histogram, use_registry
-from repro.report import fmt_int, shape_check
+from repro.report import fmt_int, fmt_pct, render_table, shape_check
 from repro.runtime.parallel import ParallelShardedScanEngine
 from repro.runtime.sharding import ShardedScanEngine
 from repro.scan.engine import EngineConfig
@@ -342,3 +343,76 @@ def test_probe_latency_driving_mode(benchmark):
         for shards in latencies
     })
     assert all(latency.count > 0 for latency in latencies.values())
+
+
+def _ecosystem_run(workers=0):
+    """One mixed-actor telescope campaign with strategy attribution."""
+    return api.ecosystem(api.EcosystemConfig(
+        world=WorldConfig(seed=20240720, scale=0.1),
+        sweep_days=4, settle_days=2, workers=workers))
+
+
+def test_ecosystem_attribution_population(benchmark):
+    """Mixed-actor sweep: attribution quality at benchmark scale.
+
+    Runs the full ecosystem pipeline (two NTP-sourcing actors plus the
+    four-strategy leak population) and renders the confusion matrix and
+    per-strategy precision/recall the attribution layer produced.  The
+    quality gate is unconditional — the diagonal must stay >= 0.9 at
+    this scale regardless of machine — and the sequential/pooled runs
+    must agree cluster for cluster (extraction parity, not just table
+    parity).
+    """
+    result = benchmark.pedantic(_ecosystem_run, rounds=3, iterations=1)
+    pooled = _ecosystem_run(workers=2)
+
+    attribution = result.attribution
+    confusion = attribution.confusion()
+    metrics = attribution.strategy_metrics()
+    diagonal = attribution.diagonal_accuracy()
+    accuracy = attribution.tables()["accuracy"]
+
+    predicted_labels = sorted(
+        {label for row in confusion.values() for label in row})
+    confusion_rows = [
+        [truth] + [row.get(label, 0) for label in predicted_labels]
+        for truth, row in confusion.items()]
+    metric_rows = [
+        [strategy, fmt_pct(scores["precision"]), fmt_pct(scores["recall"]),
+         fmt_int(int(scores["support"]))]
+        for strategy, scores in metrics.items()]
+
+    pooled_identical = (pooled.attribution.tables()
+                        == attribution.tables())
+    gate_passed = diagonal >= 0.9
+    text = (
+        "Mixed-actor population sweep (scale 0.1, 4 sweep days)\n"
+        f"  telescope events:    {fmt_int(len(result.telescope.events))}\n"
+        f"  source clusters:     {fmt_int(accuracy['clusters'])}\n"
+        f"  labeled clusters:    {fmt_int(accuracy['labeled'])}\n"
+        f"  confusion diagonal:  {fmt_pct(diagonal)}\n"
+        "\nConfusion matrix (truth rows, predicted columns)\n"
+        + render_table(["truth \\ predicted"] + predicted_labels,
+                       confusion_rows)
+        + "\nPer-strategy attribution quality\n"
+        + render_table(["strategy", "precision", "recall", "support"],
+                       metric_rows)
+    )
+    text += "\n" + shape_check(
+        "every labeled strategy attributed (confusion diagonal >= 90%)",
+        gate_passed)
+    text += "\n" + shape_check(
+        "pooled extraction (2 workers) reproduces the inline tables",
+        pooled_identical)
+    write_report("pipeline_ecosystem", text)
+
+    benchmark.extra_info.update({
+        "clusters": accuracy["clusters"],
+        "labeled": accuracy["labeled"],
+        "diagonal": round(diagonal, 4),
+        "gate_armed": True,
+        "gate_status": "armed-passed" if gate_passed else "armed-failed",
+        "pooled_identical": pooled_identical,
+    })
+    assert gate_passed, f"confusion diagonal {diagonal:.2%} < 90%"
+    assert pooled_identical

@@ -45,8 +45,10 @@ from typing import Dict, List, Optional, Tuple
 from repro.analysis import devicetypes
 from repro.analysis.parallel import run_analysis
 from repro.core.actors import NtpSourcingActor, covert_profile, research_profile
+from repro.core.attribution import AttributionReport, attribute_events
 from repro.core.campaign import CampaignConfig, CampaignReport, CollectionCampaign
 from repro.core.detection import ActorDetector, ActorVerdict
+from repro.core.ecosystem import ScannerPopulation, ScenarioConfig, leak_scenario
 from repro.core.pipeline import ExperimentConfig, ExperimentResult, run_experiment
 from repro.core.telescope import Telescope
 from repro.net.clock import DAY, HOUR, EventScheduler
@@ -209,6 +211,57 @@ class TelescopeConfig:
 
 
 @dataclass
+class EcosystemConfig:
+    """Inputs of a mixed-population telescope + attribution run.
+
+    Builds on :class:`TelescopeConfig`'s wiring (the same two
+    NTP-sourcing actors and daily sweeps) and adds the four-strategy
+    leak population plus the attribution layer.  ``workers`` pools the
+    feature extraction exactly like :class:`AnalyzeConfig.workers`;
+    ``window_days`` additionally emits rolling attribution windows
+    through the service reader.
+    """
+
+    world: WorldConfig = field(default_factory=WorldConfig)
+    #: Daily telescope sweeps over the pool.
+    sweep_days: int = 4
+    #: Extra days for slow (covert) actors to fire their delayed scans.
+    settle_days: int = 2
+    #: Pool zones the overt research actor deploys servers into.
+    research_zones: Tuple[str, ...] = ("us", "de", "jp")
+    #: Pool zones the covert cloud actor deploys servers into.
+    covert_zones: Tuple[str, ...] = ("us", "nl")
+    #: The leak population's knobs (target counts, per-actor seeds).
+    scenario: ScenarioConfig = field(default_factory=ScenarioConfig)
+    #: Attribution extraction pool size (0 = inline, byte-identical).
+    workers: int = 0
+    #: Rolling attribution windows (simulated days); None disables.
+    window_days: Optional[float] = None
+    step_days: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        self.workers = resolve_workers(self.workers)
+        if self.sweep_days < 1:
+            raise ValueError(
+                f"sweep_days={self.sweep_days}: must be >= 1")
+        if self.settle_days < 0:
+            raise ValueError(
+                f"settle_days={self.settle_days}: must be >= 0")
+        if self.window_days is None:
+            if self.step_days is not None:
+                raise ValueError(
+                    f"step_days={self.step_days}: rolling attribution "
+                    "windows need window_days")
+        else:
+            if self.window_days <= 0:
+                raise ValueError(
+                    f"window_days={self.window_days}: must be positive")
+            if self.step_days is not None and self.step_days <= 0:
+                raise ValueError(
+                    f"step_days={self.step_days}: must be positive")
+
+
+@dataclass
 class AnalyzeConfig:
     """Inputs of an offline re-analysis over saved scan results.
 
@@ -295,6 +348,17 @@ class StudyResult:
 @dataclass
 class TelescopeResult:
     telescope: Telescope
+    verdicts: List[ActorVerdict]
+    report: RunReport
+
+
+@dataclass
+class EcosystemResult:
+    """A finished mixed-population run with strategy attribution."""
+
+    telescope: Telescope
+    population: ScannerPopulation
+    attribution: AttributionReport
     verdicts: List[ActorVerdict]
     report: RunReport
 
@@ -551,6 +615,115 @@ def telescope(config: Optional[TelescopeConfig] = None) -> TelescopeResult:
     return TelescopeResult(telescope=scope, verdicts=verdicts, report=report)
 
 
+def ecosystem(config: Optional[EcosystemConfig] = None, *,
+              ctx: Optional[ExecutionContext] = None) -> EcosystemResult:
+    """Run the mixed scanner population and attribute every cluster.
+
+    The telescope wiring of :func:`telescope` — two NTP-sourcing actors
+    behind capture servers, daily bait sweeps — plus the four-strategy
+    leak population of :mod:`repro.core.ecosystem` aimed at the bait
+    /48.  The attribution layer then classifies every source cluster
+    and scores itself against the simulation's ground truth; the
+    report's ``confusion`` and ``strategy_metrics`` tables carry the
+    per-strategy precision/recall and the truth-vs-predicted matrix.
+    """
+    from repro.net.clock import MINUTE
+    from repro.service.query import WindowedAttributionReader
+
+    config = config or EcosystemConfig()
+    with use_registry() as registry:
+        world = _build_world(config.world)
+        campaign = CollectionCampaign(
+            world, CampaignConfig(days=1, wire_fraction=0.0))
+        scheduler = EventScheduler(world.clock)
+        research_as = next(s for s in world.asdb.systems
+                           if s.category == "Educational/Research")
+        clouds = [s for s in world.asdb.systems
+                  if s.name.startswith("HyperCloud")]
+        overt = NtpSourcingActor(
+            world, campaign.pool, scheduler, research_profile("GT"),
+            server_base=world.allocate_prefix64(clouds[0].number),
+            scanner_base=world.allocate_prefix64(research_as.number),
+            zones=list(config.research_zones), seed=1)
+        covert = NtpSourcingActor(
+            world, campaign.pool, scheduler, covert_profile("covert"),
+            server_base=world.allocate_prefix64(clouds[1].number),
+            scanner_base=world.allocate_prefix64(clouds[2].number),
+            zones=list(config.covert_zones), seed=2)
+        scope = Telescope(world.network)
+
+        population = ScannerPopulation(world.network, scheduler)
+        population.add_external("GT", "ntp", overt.scanner_addresses)
+        population.add_external("covert", "ntp", covert.scanner_addresses)
+        # One eyeball AS per leak strategy: distinct ASes live in
+        # distinct /32 blocks, so source /48 clustering keeps the
+        # ground truth separable by construction.
+        eyeballs = sorted(
+            (s for s in world.asdb.systems
+             if s.category == "Cable/DSL/ISP"), key=lambda s: s.number)
+        if len(eyeballs) < 4:
+            raise ValueError(
+                f"world has {len(eyeballs)} eyeball ASes; the leak "
+                "population needs 4 (raise the world scale)")
+        sources = {}
+        for strategy, system in zip(
+                ("hitlist", "tga", "rdns", "residential"), eyeballs):
+            base = world.allocate_prefix64(system.number)
+            sources[strategy] = [base + offset for offset in range(3)]
+        leak_scenario(world.network, scheduler, world.rdns,
+                      scope.prefix48, sources=sources,
+                      config=config.scenario, start=10 * MINUTE,
+                      population=population)
+
+        for _ in range(config.sweep_days):
+            scope.sweep(campaign.pool)
+            scheduler.run_until(world.clock.now() + DAY)
+        scheduler.run_until(world.clock.now() + config.settle_days * DAY)
+
+        detector = ActorDetector(
+            scope, world.asdb, rdns=world.rdns,
+            operator_of_server=lambda a: campaign.pool.server(a).operator)
+        verdicts = detector.report()
+
+        pool = _context_pool(ctx, config.workers)
+        attribution, timing = attribute_events(
+            scope.events, truth=population.ground_truth(),
+            rdns=world.rdns, pool=pool)
+
+        windows = None
+        if config.window_days is not None:
+            reader = WindowedAttributionReader(
+                scope.events, truth=population.ground_truth(),
+                rdns=world.rdns, pool=pool)
+            windows = reader.series(
+                since=0.0, window=config.window_days * DAY,
+                step=(config.step_days or config.window_days) * DAY)
+
+    tables = attribution.tables()
+    tables.update({
+        "telescope": {
+            "baits": len(scope.baits),
+            "events": len(scope.events),
+            "matched": len(scope.matched_events()),
+            "match_rate": scope.match_rate(),
+        },
+        "population": population.rows(),
+        "detector": [
+            {"actor": verdict.observation.cluster,
+             "verdict": verdict.kind}
+            for verdict in verdicts
+        ],
+    })
+    if windows is not None:
+        tables["attribution_windows"] = windows
+    if timing is not None:
+        tables["parallel_attribution"] = timing
+    report = RunReport.build("ecosystem", asdict(config), registry, tables)
+    return EcosystemResult(telescope=scope, population=population,
+                           attribution=attribution, verdicts=verdicts,
+                           report=report)
+
+
 def analyze(config: AnalyzeConfig, *,
             ctx: Optional[ExecutionContext] = None) -> AnalyzeResult:
     """Re-run the analyses over saved scan results or a run store.
@@ -726,6 +899,8 @@ __all__ = [
     "CampaignResult",
     "CollectConfig",
     "CollectResult",
+    "EcosystemConfig",
+    "EcosystemResult",
     "ExecutionContext",
     "ExperimentConfig",
     "MetricsRegistry",
@@ -738,6 +913,7 @@ __all__ = [
     "analyze",
     "build_world",
     "collect",
+    "ecosystem",
     "query_window",
     "resume",
     "resume_campaign",

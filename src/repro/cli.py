@@ -6,6 +6,9 @@ Subcommands
 ``collect``     run the collection campaign, print per-server volumes
 ``study``       run the full pipeline, print the headline tables
 ``telescope``   deploy third-party actors and run the Section-5 detector
+``ecosystem``   run the mixed scanner population (NTP + hitlist + TGA +
+                rDNS walk + residential sweep) and print the strategy
+                attribution with ground-truth confusion metrics
 ``analyze``     re-run the analyses over saved JSONL scan results or a
                 run-store directory (``--run-dir``); with ``--window``
                 (plus ``--since``/``--step``) emits rolling windowed
@@ -386,6 +389,67 @@ def cmd_telescope(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_ecosystem(args: argparse.Namespace) -> int:
+    """Run the mixed scanner population and print the attribution."""
+    try:
+        result = api.ecosystem(api.EcosystemConfig(
+            world=_world_config(args), sweep_days=args.days,
+            workers=args.workers, window_days=args.window_days,
+            step_days=args.step_days))
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        return _emit_json(result.report)
+    tables = result.report.tables
+    rows = []
+    for row in tables["attribution"]:
+        rows.append([
+            row["cluster"][:28], row["strategy"],
+            row["truth"] or "-", fmt_int(row["events"]),
+            fmt_pct(row["bait_hit_ratio"], 0),
+            fmt_int(row["dst64s"]),
+            f"{row['revisit_ratio']:.1f}",
+            fmt_pct(row["ptr_share"], 0),
+        ])
+    summary = tables["telescope"]
+    print(render_table(
+        ["cluster", "strategy", "truth", "events", "bait hits",
+         "/64s", "revisit", "PTR"],
+        rows,
+        title=f"Strategy attribution ({summary['baits']} baits, "
+              f"{fmt_int(summary['events'])} events)"))
+
+    confusion = tables["confusion"]
+    predicted_labels = sorted(
+        {label for row in confusion.values() for label in row})
+    print("\n" + render_table(
+        ["truth \\ predicted"] + predicted_labels,
+        [[truth] + [fmt_int(row.get(label, 0))
+                    for label in predicted_labels]
+         for truth, row in confusion.items()],
+        title="Confusion matrix (ground truth vs attribution)"))
+
+    accuracy = tables["accuracy"]
+    print(f"\ndiagonal accuracy: {fmt_pct(accuracy['diagonal'])} over "
+          f"{accuracy['labeled']} labeled of {accuracy['clusters']} "
+          "clusters")
+    for strategy, metric in tables["strategy_metrics"].items():
+        print(f"  {strategy}: precision {fmt_pct(metric['precision'])}, "
+              f"recall {fmt_pct(metric['recall'])}, "
+              f"support {fmt_int(metric['support'])}")
+    if "attribution_windows" in tables:
+        print("\n" + render_table(
+            ["start d", "end d", "events", "clusters", "diagonal"],
+            [[f"{doc['window']['start'] / 86400.0:.0f}",
+              f"{doc['window']['end'] / 86400.0:.0f}",
+              fmt_int(doc["events"]), fmt_int(doc["clusters"]),
+              fmt_pct(doc["accuracy"]["diagonal"])]
+             for doc in tables["attribution_windows"]],
+            title="Rolling attribution windows"))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -519,6 +583,24 @@ def build_parser() -> argparse.ArgumentParser:
     telescope.add_argument("--days", type=int, default=6,
                            help="telescope sweep days")
     telescope.set_defaults(func=cmd_telescope)
+
+    ecosystem = sub.add_parser(
+        "ecosystem",
+        help="run the mixed scanner population and attribute strategies")
+    _add_common(ecosystem)
+    _add_format(ecosystem)
+    _add_workers(ecosystem)
+    ecosystem.add_argument("--days", type=int, default=4,
+                           help="telescope sweep days (default 4)")
+    ecosystem.add_argument("--window-days", type=float, default=None,
+                           dest="window_days",
+                           help="also emit rolling attribution windows "
+                                "of this many simulated days")
+    ecosystem.add_argument("--step-days", type=float, default=None,
+                           dest="step_days",
+                           help="stride between attribution windows "
+                                "(default: the window span)")
+    ecosystem.set_defaults(func=cmd_ecosystem)
     return parser
 
 

@@ -9,6 +9,15 @@ from repro.core.actors import (
     research_ports,
     research_profile,
 )
+from repro.core.attribution import (
+    AttributionReport,
+    ClusterAttribution,
+    ClusterFeatures,
+    FeatureAccumulator,
+    attribute_events,
+    classify_features,
+    derive_features,
+)
 from repro.core.campaign import (
     CampaignConfig,
     CampaignReport,
@@ -23,6 +32,16 @@ from repro.core.comparison import (
     OverlapSummary,
 )
 from repro.core.detection import ActorDetector, ActorObservation, ActorVerdict
+from repro.core.ecosystem import (
+    HitlistSweepActor,
+    RdnsWalkActor,
+    ResidentialSweepActor,
+    ScannerActor,
+    ScannerPopulation,
+    ScenarioConfig,
+    TgaActor,
+    leak_scenario,
+)
 from repro.core.pipeline import ExperimentConfig, ExperimentResult, run_experiment
 from repro.core.realtime import RealTimeScanQueue, RealTimeStats
 from repro.core.telescope import BaitRecord, InboundEvent, Telescope
@@ -33,11 +52,14 @@ __all__ = [
     "ActorProfile",
     "ActorVerdict",
     "AddressObservation",
+    "AttributionReport",
     "BaitRecord",
     "COVERT_PORTS",
     "CampaignConfig",
     "CampaignReport",
     "CaptureServer",
+    "ClusterAttribution",
+    "ClusterFeatures",
     "CollectedDataset",
     "CollectionCampaign",
     "ComparisonTable",
@@ -45,13 +67,25 @@ __all__ = [
     "DatasetSummary",
     "ExperimentConfig",
     "ExperimentResult",
+    "FeatureAccumulator",
+    "HitlistSweepActor",
     "InboundEvent",
     "NtpSourcingActor",
     "OverlapSummary",
+    "RdnsWalkActor",
     "RealTimeScanQueue",
     "RealTimeStats",
+    "ResidentialSweepActor",
+    "ScannerActor",
+    "ScannerPopulation",
+    "ScenarioConfig",
     "Telescope",
+    "TgaActor",
+    "attribute_events",
+    "classify_features",
     "covert_profile",
+    "derive_features",
+    "leak_scenario",
     "research_ports",
     "research_profile",
     "rl_2022_config",

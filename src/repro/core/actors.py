@@ -40,14 +40,27 @@ RESEARCH_PORT_COUNT = 1011
 
 
 def research_ports() -> Tuple[int, ...]:
-    """A deterministic 1011-port list including FTP, BGP, Postgres."""
+    """A deterministic 1011-port list including FTP, BGP, Postgres.
+
+    The stride lands on some well-known ports already seeded into
+    ``base`` (3306 = 1024 + 7*326, 5672, 9200); those collisions are
+    skipped explicitly so the walk provably adds one *new* port per
+    step and the count invariant holds without truncation.  The bound
+    check can't trip at the current count (the walk tops out well below
+    10 000) but pins the invariant that every port stays valid.
+    """
     base = {21, 22, 23, 25, 53, 80, 110, 143, 179, 443, 465, 587, 993,
             995, 1883, 3306, 5432, 5672, 5683, 8080, 8443, 9200, 27017}
     port = 1024
     while len(base) < RESEARCH_PORT_COUNT:
-        base.add(port)
+        if port > 65535:
+            raise RuntimeError(
+                f"port stride exhausted the 16-bit range at "
+                f"{len(base)} of {RESEARCH_PORT_COUNT} ports")
+        if port not in base:
+            base.add(port)
         port += 7
-    return tuple(sorted(base))[:RESEARCH_PORT_COUNT]
+    return tuple(sorted(base))
 
 
 @dataclass

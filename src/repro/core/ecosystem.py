@@ -1,0 +1,435 @@
+"""A population of scanner actors beyond the NTP-sourcing pair.
+
+Section 5 of the paper attributes telescope traffic to two NTP-sourcing
+actors, but real telescopes ("Glowing in the Dark", "Illuminating
+Large-Scale IPv6 Scanning") see a whole ecosystem of scanners whose
+address-discovery strategies differ — and those strategies leave
+distinct fingerprints in probe arrival patterns.  This module models
+that population:
+
+* :class:`HitlistSweepActor` — replays a published hitlist in several
+  regular rounds (high revisit ratio, metronomic timing);
+* :class:`TgaActor` — target-generation around seed addresses by
+  low-entropy IID mutation (many candidates packed into few /64s);
+* :class:`RdnsWalkActor` — walks the reverse-DNS zone with a word
+  dictionary and probes only PTR-bearing names (ptr share ~1);
+* :class:`ResidentialSweepActor` — sweeps one low IID across many
+  consecutive residential /64s (broadband recon, Bruns' thesis).
+
+Every actor precomputes its full probe **plan** ``(when, src, dst,
+port)`` from a private seeded RNG at deploy time and fires it through
+the shared :class:`~repro.net.clock.EventScheduler`; runs are therefore
+deterministic byte for byte, and every probe is attributable to the
+actor's configured address source — properties the ecosystem test
+suite asserts directly.
+
+:class:`ScannerPopulation` deploys actors and keeps the simulation's
+ground truth (source address → strategy), which the attribution layer
+(:mod:`repro.core.attribution`) scores its confusion matrix against.
+Actors only need a :class:`~repro.net.simnet.Network` and a scheduler —
+no :class:`World` — so unit tests stay fast; :func:`leak_scenario`
+builds the standard mixed population whose targets "leak" into a
+telescope's bait /48 the way real telescope prefixes end up in
+hitlists and rDNS zones.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.ipv6 import address as addrmod
+from repro.net.clock import EventScheduler, MINUTE
+from repro.net.rdns import ReverseDns
+from repro.net.simnet import Network
+from repro.obs.metrics import current_registry
+
+#: Subnet-index layout (bits 64-79) inside a telescope /48 for leaked
+#: targets.  The telescope's own bait counter starts at 0x1000; each
+#: strategy gets a disjoint range so subnet locality separates them.
+HITLIST_SUBNET_BASE = 0x2000
+RDNS_SUBNET_BASE = 0x4000
+RESIDENTIAL_SUBNET_BASE = 0x6000
+TGA_SUBNET_BASE = 0x8000
+
+#: PTR vocabulary the rDNS walker (and the leak scenario) share.
+RDNS_DICTIONARY: Tuple[str, ...] = ("www", "mail", "ns", "vpn", "gw", "host")
+
+
+class ScannerActor:
+    """Base scanner: a seeded plan of probes fired on the scheduler.
+
+    Subclasses implement :meth:`plan` — a pure function of the
+    constructor arguments and the actor's private RNG — returning the
+    complete ``(when, src, dst, port)`` probe stream.  ``deploy()``
+    registers the source hosts, freezes the plan, and schedules every
+    probe; ``probe_log`` records fired probes in virtual-time order.
+    """
+
+    strategy = "generic"
+
+    def __init__(self, network: Network, scheduler: EventScheduler, *,
+                 name: str, sources: Sequence[int], seed: int,
+                 start: float = 0.0) -> None:
+        if not sources:
+            raise ValueError(f"{name}: an actor needs at least one source")
+        self.network = network
+        self.scheduler = scheduler
+        self.name = name
+        self.sources = tuple(sources)
+        self.start = start
+        self.rng = random.Random(seed)
+        self.probes_sent = 0
+        self.probe_log: List[Tuple[float, int, int, int]] = []
+        self._plan: Optional[Tuple[Tuple[float, int, int, int], ...]] = None
+
+    # -- planning -----------------------------------------------------------
+
+    def plan(self) -> List[Tuple[float, int, int, int]]:
+        """The full probe stream ``(when, src, dst, port)``."""
+        raise NotImplementedError
+
+    def address_pool(self) -> frozenset:
+        """Every destination this actor's strategy can ever produce."""
+        raise NotImplementedError
+
+    def planned(self) -> Tuple[Tuple[float, int, int, int], ...]:
+        """The frozen plan (computed once; deploy() freezes it too)."""
+        if self._plan is None:
+            self._plan = tuple(self.plan())
+        return self._plan
+
+    # -- execution ----------------------------------------------------------
+
+    def deploy(self) -> None:
+        """Register source hosts and schedule the whole plan."""
+        for source in self.sources:
+            if self.network.host(source) is None:
+                self.network.add_host(source, reachable=True)
+        for when, src, dst, port in self.planned():
+            self.scheduler.call_at(
+                when, lambda s=src, d=dst, p=port: self._probe(s, d, p))
+
+    def _probe(self, src: int, dst: int, port: int) -> None:
+        self.probes_sent += 1
+        self.probe_log.append((self.network.clock.now(), src, dst, port))
+        current_registry().counter(
+            "ecosystem_probes_total", strategy=self.strategy).inc()
+        stream = self.network.tcp_connect(src, dst, port)
+        if stream is not None:
+            stream.close()
+
+    def _source(self) -> int:
+        return self.rng.choice(self.sources)
+
+
+class HitlistSweepActor(ScannerActor):
+    """Replays a published hitlist, port by port, in regular rounds."""
+
+    strategy = "hitlist"
+
+    def __init__(self, network: Network, scheduler: EventScheduler, *,
+                 name: str, sources: Sequence[int],
+                 targets: Sequence[int], ports: Sequence[int] = (22, 80, 443),
+                 rounds: int = 2, interval: float = 30.0,
+                 seed: int = 0, start: float = 0.0) -> None:
+        super().__init__(network, scheduler, name=name, sources=sources,
+                         seed=seed, start=start)
+        if rounds < 1:
+            raise ValueError(f"rounds={rounds}: must be >= 1")
+        self.targets = tuple(targets)
+        self.ports = tuple(ports)
+        self.rounds = rounds
+        self.interval = interval
+
+    def plan(self) -> List[Tuple[float, int, int, int]]:
+        stream = []
+        when = self.start
+        for _ in range(self.rounds):
+            for dst in self.targets:
+                for port in self.ports:
+                    stream.append((when, self._source(), dst, port))
+                    when += self.interval
+        return stream
+
+    def address_pool(self) -> frozenset:
+        return frozenset(self.targets)
+
+
+class TgaActor(ScannerActor):
+    """Entropy-guided generation: low-entropy IID mutation around seeds.
+
+    Real TGAs (6Gen/entropy-ip style) concentrate candidates into the
+    /64s of their seeds, flipping low bits of observed IIDs.  That
+    concentration — several distinct destinations per destination /64 —
+    is the attribution signature.
+    """
+
+    strategy = "tga"
+
+    def __init__(self, network: Network, scheduler: EventScheduler, *,
+                 name: str, sources: Sequence[int],
+                 seeds: Sequence[int], candidates_per_seed: int = 6,
+                 ports: Sequence[int] = (443,), interval: float = 20.0,
+                 seed: int = 0, start: float = 0.0) -> None:
+        super().__init__(network, scheduler, name=name, sources=sources,
+                         seed=seed, start=start)
+        if candidates_per_seed < 1:
+            raise ValueError(
+                f"candidates_per_seed={candidates_per_seed}: must be >= 1")
+        self.seeds = tuple(seeds)
+        self.candidates_per_seed = candidates_per_seed
+        self.ports = tuple(ports)
+        self.interval = interval
+
+    def _mutations(self, seed_address: int) -> List[int]:
+        prefix64 = addrmod.prefix(seed_address, 64)
+        base_iid = addrmod.iid(seed_address)
+        produced: List[int] = []
+        seen = {base_iid}
+        while len(produced) < self.candidates_per_seed:
+            candidate = base_iid ^ self.rng.randrange(1, 0x100)
+            if candidate in seen:
+                continue
+            seen.add(candidate)
+            produced.append(addrmod.with_iid(prefix64, candidate))
+        return produced
+
+    def plan(self) -> List[Tuple[float, int, int, int]]:
+        stream = []
+        when = self.start
+        for seed_address in self.seeds:
+            for dst in self._mutations(seed_address):
+                for port in self.ports:
+                    stream.append((when, self._source(), dst, port))
+                    when += self.interval * self.rng.uniform(0.5, 1.5)
+        return stream
+
+    def address_pool(self) -> frozenset:
+        """Every address the mutator can reach: the seeds' /64s."""
+        return frozenset(addrmod.prefix(seed, 64) for seed in self.seeds)
+
+
+class RdnsWalkActor(ScannerActor):
+    """Walks a reverse-DNS zone and probes dictionary-named hosts."""
+
+    strategy = "rdns"
+
+    def __init__(self, network: Network, scheduler: EventScheduler, *,
+                 name: str, sources: Sequence[int], rdns: ReverseDns,
+                 zone48: int, dictionary: Sequence[str] = RDNS_DICTIONARY,
+                 ports: Sequence[int] = (80, 443), interval: float = 45.0,
+                 seed: int = 0, start: float = 0.0) -> None:
+        super().__init__(network, scheduler, name=name, sources=sources,
+                         seed=seed, start=start)
+        self.rdns = rdns
+        self.zone48 = addrmod.prefix(zone48, 48)
+        self.dictionary = tuple(dictionary)
+        self.ports = tuple(ports)
+        self.interval = interval
+
+    def _walk(self) -> List[int]:
+        """Zone addresses whose PTR names match the dictionary, sorted."""
+        matched = []
+        for address, name in self.rdns.entries():
+            if addrmod.prefix(address, 48) != self.zone48:
+                continue
+            lowered = name.lower()
+            if any(word in lowered for word in self.dictionary):
+                matched.append(address)
+        return sorted(matched)
+
+    def plan(self) -> List[Tuple[float, int, int, int]]:
+        stream = []
+        when = self.start
+        for dst in self._walk():
+            for port in self.ports:
+                stream.append((when, self._source(), dst, port))
+                when += self.interval
+        return stream
+
+    def address_pool(self) -> frozenset:
+        return frozenset(self._walk())
+
+
+class ResidentialSweepActor(ScannerActor):
+    """Sweeps low IIDs across consecutive residential /64s.
+
+    Broadband recon probes the gateway address (::1 and friends) of
+    every customer subnet in a delegation — many distinct /64s, one
+    low-IID address each, metronomic pacing.
+    """
+
+    strategy = "residential"
+
+    def __init__(self, network: Network, scheduler: EventScheduler, *,
+                 name: str, sources: Sequence[int], base48: int,
+                 subnet_start: int, subnet_count: int,
+                 iids: Sequence[int] = (1,), ports: Sequence[int] = (443,),
+                 interval: float = 15.0, seed: int = 0,
+                 start: float = 0.0) -> None:
+        super().__init__(network, scheduler, name=name, sources=sources,
+                         seed=seed, start=start)
+        if subnet_count < 1:
+            raise ValueError(f"subnet_count={subnet_count}: must be >= 1")
+        self.base48 = addrmod.prefix(base48, 48)
+        self.subnet_start = subnet_start
+        self.subnet_count = subnet_count
+        self.iids = tuple(iids)
+        self.ports = tuple(ports)
+        self.interval = interval
+
+    def _targets(self) -> List[int]:
+        return [self.base48 + ((self.subnet_start + index) << 64) + iid
+                for index in range(self.subnet_count)
+                for iid in self.iids]
+
+    def plan(self) -> List[Tuple[float, int, int, int]]:
+        stream = []
+        when = self.start
+        for dst in self._targets():
+            for port in self.ports:
+                stream.append((when, self._source(), dst, port))
+                when += self.interval
+        return stream
+
+    def address_pool(self) -> frozenset:
+        return frozenset(self._targets())
+
+
+# -- population + ground truth ------------------------------------------------
+
+
+class ScannerPopulation:
+    """Deploys a mixed actor population and holds the ground truth.
+
+    The truth map (source address → strategy) is what the attribution
+    layer's confusion matrix is scored against.  Actors created outside
+    this module (the NTP-sourcing pair) register their sources through
+    :meth:`add_external` so one table covers the whole population.
+    """
+
+    def __init__(self, network: Network,
+                 scheduler: EventScheduler) -> None:
+        self.network = network
+        self.scheduler = scheduler
+        self.actors: List[ScannerActor] = []
+        self._truth: Dict[int, str] = {}
+        self._names: Dict[int, str] = {}
+
+    def add(self, actor: ScannerActor) -> ScannerActor:
+        """Deploy an actor and record its sources' ground truth."""
+        actor.deploy()
+        self.actors.append(actor)
+        self._label(actor.name, actor.strategy, actor.sources)
+        return actor
+
+    def add_external(self, name: str, strategy: str,
+                     sources: Iterable[int]) -> None:
+        """Register ground truth for an actor deployed elsewhere."""
+        self._label(name, strategy, sources)
+
+    def _label(self, name: str, strategy: str,
+               sources: Iterable[int]) -> None:
+        for source in sources:
+            self._truth[source] = strategy
+            self._names[source] = name
+
+    def ground_truth(self) -> Dict[int, str]:
+        """source address → strategy, for attribution scoring."""
+        return dict(self._truth)
+
+    def actor_of(self, source: int) -> Optional[str]:
+        return self._names.get(source)
+
+    def rows(self) -> List[dict]:
+        """One summary row per deployed actor (report table shape)."""
+        return [{"actor": actor.name, "strategy": actor.strategy,
+                 "sources": len(actor.sources),
+                 "planned": len(actor.planned()),
+                 "probes_sent": actor.probes_sent}
+                for actor in self.actors]
+
+
+# -- the standard leak scenario ----------------------------------------------
+
+
+@dataclass
+class ScenarioConfig:
+    """Knobs of the standard mixed-population leak scenario."""
+
+    hitlist_targets: int = 12
+    hitlist_rounds: int = 2
+    tga_seeds: int = 3
+    tga_candidates: int = 6
+    rdns_names: int = 12
+    residential_subnets: int = 12
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        for name in ("hitlist_targets", "hitlist_rounds", "tga_seeds",
+                     "tga_candidates", "rdns_names", "residential_subnets"):
+            value = getattr(self, name)
+            if value < 1:
+                raise ValueError(f"{name}={value}: must be >= 1")
+
+
+def leak_scenario(network: Network, scheduler: EventScheduler,
+                  rdns: ReverseDns, prefix48: int, *,
+                  sources: Dict[str, Sequence[int]],
+                  config: Optional[ScenarioConfig] = None,
+                  start: float = 10 * MINUTE,
+                  population: Optional[ScannerPopulation] = None
+                  ) -> ScannerPopulation:
+    """The standard four-strategy population aimed at a telescope /48.
+
+    Targets "leak" into the bait prefix the way real telescope prefixes
+    end up in public hitlists and rDNS zones: each strategy draws from
+    a disjoint subnet-index range (`*_SUBNET_BASE`), so subnet locality,
+    IID structure, revisit behaviour and PTR coverage separate cleanly.
+    ``sources`` maps each strategy name to that actor's scanner
+    addresses — give every actor a distinct source /48 so clustering
+    keeps the ground truth separable.
+    """
+    config = config or ScenarioConfig()
+    prefix48 = addrmod.prefix(prefix48, 48)
+    rng = random.Random(config.seed)
+    population = population or ScannerPopulation(network, scheduler)
+
+    def high_iid() -> int:
+        # Pseudo-random (SLAAC-privacy-shaped) IIDs, never low-range.
+        return rng.randrange(1 << 32, 1 << 63)
+
+    hitlist = [prefix48 + ((HITLIST_SUBNET_BASE + index) << 64) + high_iid()
+               for index in range(config.hitlist_targets)]
+    population.add(HitlistSweepActor(
+        network, scheduler, name="hitlist-sweeper",
+        sources=sources["hitlist"], targets=hitlist,
+        rounds=config.hitlist_rounds, seed=config.seed + 1, start=start))
+
+    seeds = [prefix48 + ((TGA_SUBNET_BASE + index) << 64) + high_iid()
+             for index in range(config.tga_seeds)]
+    population.add(TgaActor(
+        network, scheduler, name="tga-generator",
+        sources=sources["tga"], seeds=seeds,
+        candidates_per_seed=config.tga_candidates,
+        seed=config.seed + 2, start=start))
+
+    for index in range(config.rdns_names):
+        address = (prefix48 + ((RDNS_SUBNET_BASE + index // 4) << 64)
+                   + high_iid())
+        word = RDNS_DICTIONARY[index % len(RDNS_DICTIONARY)]
+        rdns.register(address, f"{word}{index}.leak.example.net")
+    population.add(RdnsWalkActor(
+        network, scheduler, name="rdns-walker",
+        sources=sources["rdns"], rdns=rdns, zone48=prefix48,
+        seed=config.seed + 3, start=start))
+
+    population.add(ResidentialSweepActor(
+        network, scheduler, name="residential-sweeper",
+        sources=sources["residential"], base48=prefix48,
+        subnet_start=RESIDENTIAL_SUBNET_BASE,
+        subnet_count=config.residential_subnets,
+        seed=config.seed + 4, start=start))
+    return population

@@ -39,6 +39,15 @@ class ReverseDns:
         """The PTR name of an address, or None (NXDOMAIN)."""
         return self._records.get(address)
 
+    def entries(self) -> List[tuple]:
+        """Every ``(address, name)`` record, address-ascending.
+
+        The zone-walk view: rDNS-walking scanners enumerate a zone the
+        way AXFR/NSEC walking does in the wild, and deterministic order
+        keeps their probe plans reproducible.
+        """
+        return sorted(self._records.items())
+
     def addresses_of(self, name: str) -> List[int]:
         """Every address publishing ``name`` (duplicate-identity check).
 

@@ -28,6 +28,7 @@ from repro.service.frontend import (
 from repro.service.query import (
     WINDOW_ANCHOR_SLACK,
     WindowAnchor,
+    WindowedAttributionReader,
     WindowFrame,
     WindowedStudyReader,
     window_document,
@@ -45,6 +46,7 @@ __all__ = [
     "WINDOW_ANCHOR_SLACK",
     "WindowAnchor",
     "WindowFrame",
+    "WindowedAttributionReader",
     "WindowedStudyReader",
     "window_document",
 ]

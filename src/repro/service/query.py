@@ -304,3 +304,74 @@ class WindowedStudyReader(IncrementalStudyReader):
             frames.append(self.window(t0, t0 + window))
             t0 += step
         return frames
+
+
+class WindowedAttributionReader:
+    """Rolling strategy-attribution windows over a telescope stream.
+
+    The attribution counterpart of :class:`WindowedStudyReader`: the
+    same span semantics (``[t0, t1)`` windows, complete-windows-only
+    series against a data horizon) applied to an in-memory
+    :class:`~repro.core.telescope.InboundEvent` stream instead of a WAL
+    replay.  Events are held in a canonical sort so every query — and
+    every worker count, when a pool is threaded through — produces
+    byte-identical window documents.
+    """
+
+    def __init__(self, events, *, truth=None, rdns=None,
+                 pool=None) -> None:
+        self._events = sorted(
+            events, key=lambda e: (e.time, e.src, e.dst, e.dst_port))
+        self._truth = dict(truth) if truth else {}
+        self._rdns = rdns
+        self._pool = pool
+        self._m_windows = current_registry().counter(
+            "service_attribution_windows_total")
+
+    def horizon(self) -> float:
+        """The newest event time (the complete-data frontier)."""
+        return self._events[-1].time if self._events else 0.0
+
+    def window(self, t0: float, t1: float) -> Dict:
+        """Attribute one ``[t0, t1)`` span of the event stream."""
+        from repro.core.attribution import attribute_events
+
+        if not t1 > t0:
+            raise ValueError(f"window=[{t0}, {t1}): end must exceed start")
+        subset = [event for event in self._events
+                  if t0 <= event.time < t1]
+        report, _ = attribute_events(subset, truth=self._truth,
+                                     rdns=self._rdns, pool=self._pool)
+        strategies: Dict[str, int] = {}
+        for attribution in report.attributions:
+            strategies[attribution.strategy] = (
+                strategies.get(attribution.strategy, 0) + 1)
+        self._m_windows.inc()
+        return {
+            "window": {"start": t0, "end": t1, "days": (t1 - t0) / DAY},
+            "events": len(subset),
+            "clusters": len(report.attributions),
+            "strategies": dict(sorted(strategies.items())),
+            "accuracy": report.tables()["accuracy"],
+        }
+
+    def series(self, *, since: float, window: float, step: float,
+               horizon: Optional[float] = None) -> List[Dict]:
+        """Every complete attribution window of a rolling span.
+
+        Same rule as :meth:`WindowedStudyReader.series`: windows whose
+        end lies past the horizon are not materialized — a partial
+        window would shift cluster verdicts as late probes arrive.
+        """
+        if window <= 0:
+            raise ValueError(f"window={window}: must be positive")
+        if step <= 0:
+            raise ValueError(f"step={step}: must be positive")
+        if horizon is None:
+            horizon = self.horizon()
+        documents = []
+        t0 = since
+        while t0 + window <= horizon + _EPS:
+            documents.append(self.window(t0, t0 + window))
+            t0 += step
+        return documents

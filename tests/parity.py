@@ -17,10 +17,11 @@ asserts the same thing:
   claim, not an unsharded one.)
 
 What gets stripped before comparing is as important as what does not:
-``parallel_``-prefixed metric series, the report's ``parallel`` and
-``parallel_analysis`` tables and the ``parallel_workers`` config field
-exist only in parallel runs (wall-clock observability), and are the
-*only* permitted difference.  The ``analysis_*`` series are
+``parallel_``-prefixed metric series, the report's ``parallel``,
+``parallel_analysis`` and ``parallel_attribution`` tables and the
+``parallel_workers``/``workers`` config fields exist only in parallel
+runs (wall-clock observability), and are the *only* permitted
+difference.  The ``analysis_*`` series are
 deterministic work counters and deliberately *not* stripped — the
 analysis pool must do exactly the work the sequential path does.
 """
@@ -48,8 +49,10 @@ def strip_parallel(document: dict) -> dict:
     """A report document minus the fields only a parallel run carries."""
     document = copy.deepcopy(document)
     document.get("config", {}).pop("parallel_workers", None)
+    document.get("config", {}).pop("workers", None)
     document.get("tables", {}).pop("parallel", None)
     document.get("tables", {}).pop("parallel_analysis", None)
+    document.get("tables", {}).pop("parallel_attribution", None)
     metrics = document.get("metrics", {})
     for kind, entries in metrics.items():
         metrics[kind] = [entry for entry in entries

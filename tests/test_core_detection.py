@@ -55,6 +55,15 @@ class TestResearchPorts:
     def test_count(self):
         assert len(research_ports()) == 1011
 
+    def test_exactly_1011_distinct_valid_ports(self):
+        # Regression: the stride-7 filler collides with base ports
+        # (3306, 5672, 9200); collisions must be skipped, not allowed
+        # to shrink the distinct count or push ports past 65535.
+        ports = research_ports()
+        assert len(set(ports)) == 1011
+        assert all(1 <= port <= 65535 for port in ports)
+        assert ports == tuple(sorted(ports))
+
     def test_includes_service_diversity(self):
         ports = set(research_ports())
         assert {21, 179, 5432} <= ports  # FTP, BGP, Postgres

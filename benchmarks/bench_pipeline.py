@@ -356,7 +356,7 @@ def test_ecosystem_attribution_population(benchmark):
     """Mixed-actor sweep: attribution quality at benchmark scale.
 
     Runs the full ecosystem pipeline (two NTP-sourcing actors plus the
-    four-strategy leak population) and renders the confusion matrix and
+    five-strategy leak population) and renders the confusion matrix and
     per-strategy precision/recall the attribution layer produced.  The
     quality gate is unconditional — the diagonal must stay >= 0.9 at
     this scale regardless of machine — and the sequential/pooled runs

@@ -215,7 +215,7 @@ class EcosystemConfig:
     """Inputs of a mixed-population telescope + attribution run.
 
     Builds on :class:`TelescopeConfig`'s wiring (the same two
-    NTP-sourcing actors and daily sweeps) and adds the four-strategy
+    NTP-sourcing actors and daily sweeps) and adds the five-strategy
     leak population plus the attribution layer.  ``workers`` pools the
     feature extraction exactly like :class:`AnalyzeConfig.workers`;
     ``window_days`` additionally emits rolling attribution windows
@@ -259,6 +259,40 @@ class EcosystemConfig:
             if self.step_days is not None and self.step_days <= 0:
                 raise ValueError(
                     f"step_days={self.step_days}: must be positive")
+
+
+@dataclass
+class AmplificationConfig:
+    """Inputs of the monlist amplification study.
+
+    Builds a dedicated control-plane world: ``servers`` NTP pool
+    members, each with the version/patch-level profile
+    :func:`repro.world.ntpprofiles.profile_for` assigns and a
+    pre-seeded recent-client table, scanned with the ``ntp`` probe
+    module (mode-6 readvar + mode-7 monlist).  ``workers`` selects the
+    parallel sharded engine; the amplification table is byte-identical
+    at any worker count.
+    """
+
+    #: Pool servers deployed (and scanned).
+    servers: int = 96
+    seed: int = 20240720
+    #: Largest pre-seeded recent-client table per server.
+    max_entries: int = 48
+    #: Scan worker processes (0 = in-process sequential engine).
+    workers: int = 0
+    #: Shard count of the sharded scan engine.
+    shards: int = 4
+
+    def __post_init__(self) -> None:
+        self.workers = resolve_workers(self.workers)
+        if self.servers < 1:
+            raise ValueError(f"servers={self.servers}: must be >= 1")
+        if self.max_entries < 0:
+            raise ValueError(
+                f"max_entries={self.max_entries}: must be >= 0")
+        if self.shards < 1:
+            raise ValueError(f"shards={self.shards}: must be >= 1")
 
 
 @dataclass
@@ -360,6 +394,18 @@ class EcosystemResult:
     population: ScannerPopulation
     attribution: AttributionReport
     verdicts: List[ActorVerdict]
+    report: RunReport
+
+
+@dataclass
+class AmplificationResult:
+    """A finished monlist amplification study."""
+
+    results: ScanResults
+    exposure: "object"       # analysis.amplification.MonlistExposureReport
+    distribution: "object"   # analysis.amplification.AmplificationReport
+    #: The rendered exposure + distribution artefact (bench-committed).
+    table: str
     report: RunReport
 
 
@@ -620,7 +666,7 @@ def ecosystem(config: Optional[EcosystemConfig] = None, *,
     """Run the mixed scanner population and attribute every cluster.
 
     The telescope wiring of :func:`telescope` — two NTP-sourcing actors
-    behind capture servers, daily bait sweeps — plus the four-strategy
+    behind capture servers, daily bait sweeps — plus the five-strategy
     leak population of :mod:`repro.core.ecosystem` aimed at the bait
     /48.  The attribution layer then classifies every source cluster
     and scores itself against the simulation's ground truth; the
@@ -661,13 +707,14 @@ def ecosystem(config: Optional[EcosystemConfig] = None, *,
         eyeballs = sorted(
             (s for s in world.asdb.systems
              if s.category == "Cable/DSL/ISP"), key=lambda s: s.number)
-        if len(eyeballs) < 4:
+        if len(eyeballs) < 5:
             raise ValueError(
                 f"world has {len(eyeballs)} eyeball ASes; the leak "
-                "population needs 4 (raise the world scale)")
+                "population needs 5 (raise the world scale)")
         sources = {}
         for strategy, system in zip(
-                ("hitlist", "tga", "rdns", "residential"), eyeballs):
+                ("hitlist", "tga", "rdns", "residential",
+                 "amplification"), eyeballs):
             base = world.allocate_prefix64(system.number)
             sources[strategy] = [base + offset for offset in range(3)]
         leak_scenario(world.network, scheduler, world.rdns,
@@ -722,6 +769,99 @@ def ecosystem(config: Optional[EcosystemConfig] = None, *,
     return EcosystemResult(telescope=scope, population=population,
                            attribution=attribution, verdicts=verdicts,
                            report=report)
+
+
+#: The amplification study's address plan: servers in consecutive
+#: subnets of a documentation /48, the scanner outside them.
+_AMPLIFICATION_PREFIX48 = 0x2001_0DB8_00AA << 80
+_AMPLIFICATION_SCANNER = _AMPLIFICATION_PREFIX48 + (0xFFFF << 64) + 0x5CA7
+
+
+def amplification(config: Optional[AmplificationConfig] = None, *,
+                  ctx: Optional[ExecutionContext] = None
+                  ) -> AmplificationResult:
+    """Run the monlist amplification study (the Fig 2/3-style tables).
+
+    Deploys ``config.servers`` profiled pool members as picklable
+    :class:`~repro.ntp.service.NtpControlService` hosts on a lean
+    loss-free network, scans them with the ``ntp`` probe module through
+    the sharded engine (parallel when ``config.workers >= 1``), and
+    folds the grabs into the monlist-exposure and amplification-factor
+    reports.  The rendered table is byte-identical at any worker count.
+    """
+    from repro.analysis.amplification import (
+        amplification_distribution,
+        amplification_table,
+        monlist_exposure,
+    )
+    from repro.net.simnet import Network
+    from repro.ntp.service import control_service_for
+    from repro.runtime.parallel import ParallelShardedScanEngine
+    from repro.runtime.registry import ProbeRegistry
+    from repro.runtime.sharding import ShardedScanEngine
+    from repro.scan.engine import EngineConfig
+    from repro.scan.modules.ntp import scan_ntp
+
+    config = config or AmplificationConfig()
+    with use_registry() as registry:
+        network = Network()
+        network.add_host(_AMPLIFICATION_SCANNER)
+        addresses = [
+            _AMPLIFICATION_PREFIX48 + ((0xA000 + index) << 64) + 1
+            for index in range(config.servers)
+        ]
+        for address in addresses:
+            host = network.add_host(address)
+            host.bind_udp(123, control_service_for(
+                config.seed, address, max_entries=config.max_entries))
+        probes = ProbeRegistry()
+        probes.register("ntp", scan_ntp, 123)
+        engine_config = EngineConfig(drive_clock=False)
+        pool = _context_pool(ctx, config.workers)
+        if pool is not None:
+            engine = ParallelShardedScanEngine(
+                network, _AMPLIFICATION_SCANNER, engine_config,
+                registry=probes, shards=config.shards, pool=pool,
+                name="amplification")
+        else:
+            engine = ShardedScanEngine(
+                network, _AMPLIFICATION_SCANNER, engine_config,
+                registry=probes, shards=config.shards,
+                name="amplification")
+        results = engine.run(addresses, label="amplification")
+        exposure = monlist_exposure("pool", results)
+        distribution = amplification_distribution("pool", results)
+        table = amplification_table(exposure, distribution)
+
+    tables: dict = {
+        "exposure": [
+            {"group": row.group, "responsive": row.responsive,
+             "exposed": row.exposed, "share": row.exposed_share}
+            for row in exposure.rows
+        ],
+        "exposure_total": {
+            "responsive": exposure.responsive,
+            "exposed": exposure.exposed,
+            "share": exposure.exposed_share,
+        },
+        "amplification": [
+            {"bucket": bucket.label, "servers": bucket.count}
+            for bucket in distribution.buckets
+        ],
+        "amplification_summary": {
+            "samples": distribution.samples,
+            "mean": distribution.mean,
+            "max": distribution.maximum,
+        },
+        "rendered": table,
+    }
+    if pool is not None and getattr(engine, "last_run_timing", None):
+        tables["parallel"] = engine.last_run_timing
+    report = RunReport.build("amplification", asdict(config), registry,
+                             tables)
+    return AmplificationResult(results=results, exposure=exposure,
+                               distribution=distribution, table=table,
+                               report=report)
 
 
 def analyze(config: AnalyzeConfig, *,
@@ -894,6 +1034,8 @@ def serve(run_dir: str, *, host: str = "127.0.0.1", port: int = 0,
 
 
 __all__ = [
+    "AmplificationConfig",
+    "AmplificationResult",
     "AnalyzeConfig",
     "AnalyzeResult",
     "CampaignResult",
@@ -910,6 +1052,7 @@ __all__ = [
     "TelescopeConfig",
     "TelescopeResult",
     "WorldResult",
+    "amplification",
     "analyze",
     "build_world",
     "collect",

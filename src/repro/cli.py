@@ -7,8 +7,12 @@ Subcommands
 ``study``       run the full pipeline, print the headline tables
 ``telescope``   deploy third-party actors and run the Section-5 detector
 ``ecosystem``   run the mixed scanner population (NTP + hitlist + TGA +
-                rDNS walk + residential sweep) and print the strategy
-                attribution with ground-truth confusion metrics
+                rDNS walk + residential sweep + monlist amplification
+                recon) and print the strategy attribution with
+                ground-truth confusion metrics
+``amplification``  probe a seeded pool's control plane (mode-6 readvar
+                + mode-7 monlist) and print the monlist-exposure and
+                amplification-factor tables (Figs 2/3)
 ``analyze``     re-run the analyses over saved JSONL scan results or a
                 run-store directory (``--run-dir``); with ``--window``
                 (plus ``--since``/``--step``) emits rolling windowed
@@ -450,6 +454,21 @@ def cmd_ecosystem(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_amplification(args: argparse.Namespace) -> int:
+    """Probe the seeded pool's control plane, print Figs 2/3 tables."""
+    try:
+        result = api.amplification(api.AmplificationConfig(
+            servers=args.servers, seed=args.seed,
+            max_entries=args.max_entries, workers=args.workers))
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        return _emit_json(result.report)
+    print(result.table)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -601,6 +620,22 @@ def build_parser() -> argparse.ArgumentParser:
                            help="stride between attribution windows "
                                 "(default: the window span)")
     ecosystem.set_defaults(func=cmd_ecosystem)
+
+    amplification = sub.add_parser(
+        "amplification",
+        help="probe pool control planes and print the monlist "
+             "exposure / amplification tables")
+    _add_format(amplification)
+    _add_workers(amplification)
+    amplification.add_argument("--servers", type=int, default=96,
+                               help="pool servers to probe (default 96)")
+    amplification.add_argument("--seed", type=int, default=20240720,
+                               help="profile seed (default 20240720)")
+    amplification.add_argument("--max-entries", type=int, default=48,
+                               dest="max_entries",
+                               help="largest pre-seeded recent-client "
+                                    "table (default 48)")
+    amplification.set_defaults(func=cmd_amplification)
     return parser
 
 

@@ -71,6 +71,13 @@ TGA_MIN_CONCENTRATION = 3.0
 #: Hitlist replay: events per (address, port) pair above this.
 HITLIST_MIN_REVISIT = 1.5
 
+#: Amplification recon: near-pure UDP/123 traffic (monlist sweeps
+#: probe nothing else; no TCP service scan concentrates on port 123).
+AMPLIFICATION_NTP_SHARE = 0.9
+
+#: The NTP port, the amplification fingerprint's anchor.
+NTP_PORT = 123
+
 #: Fixed extraction chunk size — independent of worker count, so chunk
 #: boundaries (and therefore the merge tree's leaves) never vary.
 ATTRIBUTION_CHUNK = 512
@@ -147,6 +154,8 @@ class ClusterFeatures:
     port_count: int
     sensitive_share: float
     span: float
+    #: Share of events aimed at UDP/123 (the amplification fingerprint).
+    ntp_port_share: float = 0.0
 
 
 def derive_features(accumulator: FeatureAccumulator, *,
@@ -192,6 +201,8 @@ def derive_features(accumulator: FeatureAccumulator, *,
         sensitive_share=(len(distinct_ports & SENSITIVE_PORTS)
                          / len(distinct_ports) if distinct_ports else 0.0),
         span=(expanded[-1] - expanded[0]) if expanded else 0.0,
+        ntp_port_share=(accumulator.ports[NTP_PORT] / accumulator.events
+                        if accumulator.events else 0.0),
     )
 
 
@@ -202,7 +213,8 @@ INSUFFICIENT = "insufficient"
 
 #: Every strategy the classifier can emit (scored strategies only;
 #: ``insufficient``/``unknown`` are non-labels).
-STRATEGIES = ("ntp", "rdns", "residential", "tga", "hitlist")
+STRATEGIES = ("ntp", "amplification", "rdns", "residential", "tga",
+              "hitlist")
 
 
 def classify_features(features: ClusterFeatures
@@ -212,7 +224,8 @@ def classify_features(features: ClusterFeatures
     Precedence is deliberate: the bait signal is the strongest (only
     NTP-sourced scanners can learn bait addresses) but demands a bait
     *majority*, so scatter-only clusters and guard-band wander can
-    never be attributed to an NTP actor; PTR coverage beats geometry;
+    never be attributed to an NTP actor; a near-pure UDP/123 port
+    profile marks amplification recon; PTR coverage beats geometry;
     geometry (locality, IID structure) beats revisit behaviour.
     """
     if features.event_count < MIN_CLUSTER_EVENTS:
@@ -224,6 +237,10 @@ def classify_features(features: ClusterFeatures
         return "ntp", (
             f"{features.bait_hit_ratio:.0%} of events land on revealed "
             "baits — the addresses only an NTP-sourced scanner can know",)
+    if features.ntp_port_share >= AMPLIFICATION_NTP_SHARE:
+        return "amplification", (
+            f"{features.ntp_port_share:.0%} of events aim at UDP/123: "
+            "a monlist amplification sweep",)
     if features.ptr_share >= RDNS_PTR_SHARE:
         return "rdns", (
             f"{features.ptr_share:.0%} of destinations carry PTR "

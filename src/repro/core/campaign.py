@@ -34,6 +34,7 @@ from repro.ntp.client import NtpClient
 from repro.ntp.pool import NtpPool
 from repro.ntp.server import NtpServer
 from repro.world.geo import DEPLOYMENT_COUNTRIES
+from repro.world.ntpprofiles import profile_for
 from repro.world.population import World
 
 
@@ -134,8 +135,8 @@ class CollectionCampaign:
                 address = self._infrastructure_prefix(index)
                 index += 1
                 if self.rng.random() >= self.config.background_dead_rate:
-                    server = NtpServer(self.world.network, address,
-                                       location=f"bg-{country.code}")
+                    server = self._background_server(
+                        address, location=f"bg-{country.code}")
                     self._background_servers.append(server)
                 # Dead members stay registered (the pool's DNS hands
                 # them out until monitoring catches up) but answer
@@ -160,6 +161,23 @@ class CollectionCampaign:
                                operator="study")
         self._infra_cursor = index
 
+    def _background_server(self, address: int, *,
+                           location: str) -> NtpServer:
+        """A background pool member with its seeded software profile.
+
+        Profiles come from :func:`repro.world.ntpprofiles.profile_for`
+        — a pure function of ``(campaign seed, address)`` on a private
+        RNG stream, so version/monlist assignment never shifts the
+        campaign's own draws (the dead-rate coin flips above) and stays
+        stable across resume/replay.  Capture servers are *not*
+        profiled: the study's own deployment always runs patched.
+        """
+        profile = profile_for(self.config.seed, address)
+        return NtpServer(self.world.network, address,
+                         location=location,
+                         software_version=profile.software_version,
+                         monlist_enabled=profile.monlist_enabled)
+
     # -- mid-campaign pool churn (the service daemon's lever) ----------------
 
     def add_background_server(self, country_code: str, *,
@@ -176,8 +194,8 @@ class CollectionCampaign:
         self._infra_cursor += 1
         if not dead:
             self._background_servers.append(
-                NtpServer(self.world.network, address,
-                          location=f"bg-{country_code}"))
+                self._background_server(address,
+                                        location=f"bg-{country_code}"))
         self.pool.register(address, country_code.lower(),
                            netspeed=self.config.background_netspeed,
                            operator="background")

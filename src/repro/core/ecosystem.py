@@ -14,7 +14,9 @@ that population:
 * :class:`RdnsWalkActor` — walks the reverse-DNS zone with a word
   dictionary and probes only PTR-bearing names (ptr share ~1);
 * :class:`ResidentialSweepActor` — sweeps one low IID across many
-  consecutive residential /64s (broadband recon, Bruns' thesis).
+  consecutive residential /64s (broadband recon, Bruns' thesis);
+* :class:`AmplificationReconActor` — sweeps UDP/123 monlist probes
+  hunting open NTP amplifiers (near-pure port-123 profile).
 
 Every actor precomputes its full probe **plan** ``(when, src, dst,
 port)`` from a private seeded RNG at deploy time and fires it through
@@ -52,6 +54,7 @@ HITLIST_SUBNET_BASE = 0x2000
 RDNS_SUBNET_BASE = 0x4000
 RESIDENTIAL_SUBNET_BASE = 0x6000
 TGA_SUBNET_BASE = 0x8000
+AMPLIFICATION_SUBNET_BASE = 0xA000
 
 #: PTR vocabulary the rDNS walker (and the leak scenario) share.
 RDNS_DICTIONARY: Tuple[str, ...] = ("www", "mail", "ns", "vpn", "gw", "host")
@@ -298,6 +301,66 @@ class ResidentialSweepActor(ScannerActor):
         return frozenset(self._targets())
 
 
+class AmplificationReconActor(ScannerActor):
+    """Sweeps for open NTP amplifiers: UDP monlist probes to port 123.
+
+    The DRDoS-recon pattern the NTP scanning literature documents
+    (Czyz et al.'s amplification measurements, the paper's Fig 2/3
+    story): low-IID sweeps across consecutive subnets, every probe a
+    72-byte mode-7 monlist request to UDP/123.  The near-pure UDP/123
+    port profile is the attribution fingerprint — no TCP service scan
+    shares it.
+    """
+
+    strategy = "amplification"
+
+    def __init__(self, network: Network, scheduler: EventScheduler, *,
+                 name: str, sources: Sequence[int], base48: int,
+                 subnet_start: int, subnet_count: int,
+                 iids: Sequence[int] = (1,), port: int = 123,
+                 interval: float = 12.0, seed: int = 0,
+                 start: float = 0.0) -> None:
+        super().__init__(network, scheduler, name=name, sources=sources,
+                         seed=seed, start=start)
+        if subnet_count < 1:
+            raise ValueError(f"subnet_count={subnet_count}: must be >= 1")
+        self.base48 = addrmod.prefix(base48, 48)
+        self.subnet_start = subnet_start
+        self.subnet_count = subnet_count
+        self.iids = tuple(iids)
+        self.port = port
+        self.interval = interval
+
+    def _targets(self) -> List[int]:
+        return [self.base48 + ((self.subnet_start + index) << 64) + iid
+                for index in range(self.subnet_count)
+                for iid in self.iids]
+
+    def plan(self) -> List[Tuple[float, int, int, int]]:
+        stream = []
+        when = self.start
+        for dst in self._targets():
+            stream.append((when, self._source(), dst, self.port))
+            when += self.interval
+        return stream
+
+    def address_pool(self) -> frozenset:
+        return frozenset(self._targets())
+
+    def _probe(self, src: int, dst: int, port: int) -> None:
+        # UDP, not TCP: a monlist request, the telescope records the
+        # dst-port-123 datagram whether or not anything answers.
+        from repro.ntp.control import monlist_request
+
+        self.probes_sent += 1
+        self.probe_log.append((self.network.clock.now(), src, dst, port))
+        current_registry().counter(
+            "ecosystem_probes_total", strategy=self.strategy).inc()
+        self.network.udp_request(
+            src, dst, port,
+            monlist_request(sequence=self.probes_sent & 0x7F).encode())
+
+
 # -- population + ground truth ------------------------------------------------
 
 
@@ -365,11 +428,13 @@ class ScenarioConfig:
     tga_candidates: int = 6
     rdns_names: int = 12
     residential_subnets: int = 12
+    amplification_subnets: int = 10
     seed: int = 7
 
     def __post_init__(self) -> None:
         for name in ("hitlist_targets", "hitlist_rounds", "tga_seeds",
-                     "tga_candidates", "rdns_names", "residential_subnets"):
+                     "tga_candidates", "rdns_names", "residential_subnets",
+                     "amplification_subnets"):
             value = getattr(self, name)
             if value < 1:
                 raise ValueError(f"{name}={value}: must be >= 1")
@@ -382,7 +447,7 @@ def leak_scenario(network: Network, scheduler: EventScheduler,
                   start: float = 10 * MINUTE,
                   population: Optional[ScannerPopulation] = None
                   ) -> ScannerPopulation:
-    """The standard four-strategy population aimed at a telescope /48.
+    """The standard five-strategy population aimed at a telescope /48.
 
     Targets "leak" into the bait prefix the way real telescope prefixes
     end up in public hitlists and rDNS zones: each strategy draws from
@@ -432,4 +497,11 @@ def leak_scenario(network: Network, scheduler: EventScheduler,
         subnet_start=RESIDENTIAL_SUBNET_BASE,
         subnet_count=config.residential_subnets,
         seed=config.seed + 4, start=start))
+
+    population.add(AmplificationReconActor(
+        network, scheduler, name="amplification-recon",
+        sources=sources["amplification"], base48=prefix48,
+        subnet_start=AMPLIFICATION_SUBNET_BASE,
+        subnet_count=config.amplification_subnets,
+        seed=config.seed + 5, start=start))
     return population

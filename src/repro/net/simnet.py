@@ -30,8 +30,13 @@ from repro.net.clock import VirtualClock
 from repro.net.packet import Datagram, PacketRecord, Transport
 
 #: A UDP handler consumes a datagram and optionally returns the response
-#: payload (which the network sends back to the source).
-UdpHandler = Callable[[Datagram], Optional[bytes]]
+#: payload (which the network sends back to the source).  A handler may
+#: also return a *sequence* of payloads — one response datagram each, in
+#: order — which is how fragmented protocols (NTP mode-6 windows, mode-7
+#: monlist trains) amplify a single request into a packet burst.
+UdpHandler = Callable[[Datagram], "UdpResponse"]
+
+UdpResponse = Optional[object]  # bytes | Sequence[bytes] | None
 
 #: A tap observes every delivery attempt.
 Tap = Callable[[PacketRecord], None]
@@ -272,8 +277,15 @@ class Network:
         for tap in self._taps:
             tap(record)
 
-    def send_datagram(self, datagram: Datagram) -> Optional[Datagram]:
-        """Deliver a UDP datagram; returns the response datagram, if any."""
+    def _deliver_datagram(self, datagram: Datagram) -> List[Datagram]:
+        """Deliver one UDP datagram; returns every response datagram.
+
+        Handlers returning a single ``bytes`` payload produce at most
+        one response (the seed contract); handlers returning a sequence
+        produce one response datagram per payload, each with its own
+        loss draw and tap record — a passive observer sees the whole
+        amplified train, not just the first fragment.
+        """
         lost = self._lost()
         self._record(
             Transport.UDP, datagram.src, datagram.src_port,
@@ -281,29 +293,44 @@ class Network:
             delivered=not lost,
         )
         if lost:
-            return None
+            return []
         host = self.host(datagram.dst)
         if host is None or not host.reachable:
-            return None
+            return []
         handler = host.udp_handlers.get(datagram.dst_port)
         if handler is None:
-            return None
+            return []
         payload = handler(datagram)
         if payload is None:
-            return None
-        response = datagram.reply(payload)
-        if self._lost():
+            return []
+        payloads = ([payload] if isinstance(payload, (bytes, bytearray))
+                    else list(payload))
+        responses: List[Datagram] = []
+        for part in payloads:
+            response = datagram.reply(bytes(part))
+            if self._lost():
+                self._record(
+                    Transport.UDP, response.src, response.src_port,
+                    response.dst, response.dst_port, len(response.payload),
+                    delivered=False,
+                )
+                continue
             self._record(
                 Transport.UDP, response.src, response.src_port,
                 response.dst, response.dst_port, len(response.payload),
-                delivered=False,
             )
-            return None
-        self._record(
-            Transport.UDP, response.src, response.src_port,
-            response.dst, response.dst_port, len(response.payload),
-        )
-        return response
+            responses.append(response)
+        return responses
+
+    def send_datagram(self, datagram: Datagram) -> Optional[Datagram]:
+        """Deliver a UDP datagram; returns the first response datagram.
+
+        The single-response face of :meth:`_deliver_datagram` — the
+        contract every mode-3/4 exchange uses.  Multi-packet consumers
+        (the NTP control-plane scan) use :meth:`udp_request_multi`.
+        """
+        responses = self._deliver_datagram(datagram)
+        return responses[0] if responses else None
 
     def udp_request(self, src: int, dst: int, dst_port: int,
                     payload: bytes, src_port: Optional[int] = None) -> Optional[bytes]:
@@ -314,6 +341,23 @@ class Network:
         )
         response = self.send_datagram(datagram)
         return response.payload if response else None
+
+    def udp_request_multi(self, src: int, dst: int, dst_port: int,
+                          payload: bytes,
+                          src_port: Optional[int] = None) -> List[bytes]:
+        """One request, every response payload (fragmented protocols).
+
+        Returns the full response train in send order — empty on
+        silence, loss, or an unreachable host.  Lost fragments are
+        dropped individually (each has its own loss draw), exactly the
+        failure mode a real monlist train exhibits.
+        """
+        datagram = Datagram(
+            src=src, src_port=src_port or self.ephemeral_port(),
+            dst=dst, dst_port=dst_port, payload=payload,
+        )
+        return [response.payload
+                for response in self._deliver_datagram(datagram)]
 
     def tcp_connect(self, src: int, dst: int, dst_port: int,
                     src_port: Optional[int] = None) -> Optional[Stream]:

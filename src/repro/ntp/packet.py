@@ -21,7 +21,7 @@ PACKET_SIZE = 48
 #: Offset between the NTP era (1900) and the Unix epoch (1970), seconds.
 NTP_UNIX_OFFSET = 2_208_988_800
 
-_HEADER = struct.Struct("!BBBbIIIQQQQ")
+_HEADER = struct.Struct("!BBbbIIIQQQQ")
 
 
 class Mode(enum.IntEnum):
@@ -88,13 +88,22 @@ class NtpPacket:
         """Serialize to wire format."""
         if not 1 <= self.version <= 7:
             raise ValueError(f"NTP version out of range: {self.version}")
+        # RFC 5905 defines poll and precision as signed 8-bit exponents:
+        # a negative poll means a sub-second interval and must survive
+        # the wire (the seed codec packed poll unsigned via `& 0xFF`,
+        # so -6 decoded as 250).
+        if not -128 <= self.poll <= 127:
+            raise ValueError(f"NTP poll out of int8 range: {self.poll}")
+        if not -128 <= self.precision <= 127:
+            raise ValueError(
+                f"NTP precision out of int8 range: {self.precision}")
         first = ((int(self.leap) & 0x3) << 6) | ((self.version & 0x7) << 3) | (
             int(self.mode) & 0x7
         )
         header = _HEADER.pack(
             first,
             self.stratum & 0xFF,
-            self.poll & 0xFF,
+            self.poll,
             self.precision,
             self.root_delay & 0xFFFFFFFF,
             self.root_dispersion & 0xFFFFFFFF,

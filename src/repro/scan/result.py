@@ -98,6 +98,44 @@ class CoapGrab:
     port: int = 5683
 
 
+@dataclass(frozen=True)
+class NtpGrab:
+    """NTP control-plane probe outcome (mode-6 readvar + mode-7 monlist).
+
+    ``ok`` means the target answered the readvar query at all;
+    ``monlist`` is True when the mode-7 monlist was answered with data,
+    False when it was denied or silently dropped (the patched-daemon
+    behaviour).  The byte counters feed the amplification-factor
+    analysis: ``request_bytes`` is what the scanner sent for the
+    monlist probe, ``response_bytes`` what came back across the whole
+    response train.
+    """
+
+    address: int
+    time: float
+    ok: bool
+    version: Optional[str] = None
+    monlist: bool = False
+    #: Recent-client entries returned by monlist.
+    entries: int = 0
+    #: Packets in the monlist response train.
+    response_packets: int = 0
+    #: Bytes sent in the monlist request.
+    request_bytes: int = 0
+    #: Bytes received across the monlist response train.
+    response_bytes: int = 0
+
+    protocol: str = "ntp"
+    port: int = 123
+
+    @property
+    def amplification(self) -> float:
+        """Bytes returned per monlist byte sent (0.0 when unanswered)."""
+        if self.request_bytes <= 0:
+            return 0.0
+        return self.response_bytes / self.request_bytes
+
+
 Grab = object  # any of the grab dataclasses above
 
 

@@ -1,0 +1,78 @@
+"""Seeded NTP software profiles for world pool servers.
+
+The paper's security-configuration story (Figs 2/3) hinges on version
+and patch-level spread: a pool is a mix of current daemons and years-
+stale ones, and whether a server answers mode-7 monlist is a pure
+function of that software level — ``ntpd`` before 4.2.7p26 (and every
+NTPv3-era daemon) ships with the monitor list queryable, later builds
+drop mode 7 unless explicitly re-enabled.
+
+:func:`profile_for` derives one deterministic
+:class:`NtpServerProfile` per ``(seed, address)`` pair on a private RNG
+stream, so assigning profiles never perturbs any other seeded draw a
+campaign makes (dead-server coin flips, churn, netspeeds) — the same
+stream-isolation discipline the service daemon uses.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+#: Stream label mixed into the per-address RNG so profile draws can
+#: never collide with another consumer hashing the same (seed, address).
+_STREAM_SALT = 0x4E54_5050  # "NTPP"
+
+#: SplitMix64-style odd multiplier for address mixing.
+_MIX = 0x9E3779B97F4A7C15
+
+#: Share of servers still on an NTPv3-era daemon (monlist always on).
+V3_SHARE = 0.12
+
+#: Share on an unpatched v4 (< 4.2.7p26: monlist still answered).
+V4_UNPATCHED_SHARE = 0.28
+
+
+@dataclass(frozen=True)
+class NtpServerProfile:
+    """One server's software level and control-plane exposure."""
+
+    #: Advertised version string (what mode-6 readvar reports).
+    software_version: str
+    #: NTP major version the daemon implements (3 or 4).
+    ntp_version: int
+    #: Whether mode-7 monlist is answered (pre-4.2.7p26 behaviour).
+    monlist_enabled: bool
+
+
+def profile_for(seed: int, address: int) -> NtpServerProfile:
+    """The deterministic profile of the server at ``address``.
+
+    A pure function of ``(seed, address)``: the same server gets the
+    same software level in every run, and profile assignment consumes
+    no shared RNG stream.
+    """
+    # Fold the address's upper half in before masking: servers that
+    # differ only in their subnet bits (bits 64+) must not share a
+    # stream.
+    mixed = (address ^ (address >> 64)) & (1 << 64) - 1
+    rng = random.Random(((seed ^ _STREAM_SALT) * _MIX + mixed * _MIX)
+                        & (1 << 64) - 1)
+    draw = rng.random()
+    if draw < V3_SHARE:
+        return NtpServerProfile(
+            software_version=f"xntpd 3.{rng.randint(4, 5)}.{rng.randint(0, 9)}",
+            ntp_version=3,
+            monlist_enabled=True,
+        )
+    if draw < V3_SHARE + V4_UNPATCHED_SHARE:
+        return NtpServerProfile(
+            software_version=f"ntpd 4.2.6p{rng.randint(1, 5)}",
+            ntp_version=4,
+            monlist_enabled=True,
+        )
+    return NtpServerProfile(
+        software_version=f"ntpd 4.2.8p{rng.randint(3, 17)}",
+        ntp_version=4,
+        monlist_enabled=False,
+    )

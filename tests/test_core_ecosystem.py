@@ -23,7 +23,13 @@ from hypothesis import strategies as st
 from repro import api
 from repro.core.attribution import attribute_events
 from repro.core.ecosystem import (
+    AMPLIFICATION_SUBNET_BASE,
+    HITLIST_SUBNET_BASE,
     RDNS_DICTIONARY,
+    RDNS_SUBNET_BASE,
+    RESIDENTIAL_SUBNET_BASE,
+    TGA_SUBNET_BASE,
+    AmplificationReconActor,
     HitlistSweepActor,
     RdnsWalkActor,
     ResidentialSweepActor,
@@ -48,7 +54,10 @@ SOURCE_BASES = {
     "tga": addrmod.parse("2001:db8:bb00::10"),
     "rdns": addrmod.parse("2001:db8:cc00::10"),
     "residential": addrmod.parse("2001:db8:dd00::10"),
+    "amplification": addrmod.parse("2001:db8:ee00::10"),
 }
+
+ALL_STRATEGIES = ("hitlist", "tga", "rdns", "residential", "amplification")
 
 
 def fresh_sim():
@@ -93,12 +102,28 @@ def make_residential(network, scheduler, seed=14):
         base48=PREFIX48, subnet_start=0x6000, subnet_count=10, seed=seed)
 
 
+def make_amplification(network, scheduler, seed=15):
+    return AmplificationReconActor(
+        network, scheduler, name="a", sources=sources_for("amplification"),
+        base48=PREFIX48, subnet_start=0xA000, subnet_count=8, seed=seed)
+
+
 ACTOR_FACTORIES = {
     "hitlist": make_hitlist,
     "tga": make_tga,
     "rdns": make_rdns,
     "residential": make_residential,
+    "amplification": make_amplification,
 }
+
+
+def test_subnet_bases_disjoint_and_pinned():
+    """The scenario's address plan: one disjoint /64 index range each."""
+    assert HITLIST_SUBNET_BASE == 0x2000
+    assert RDNS_SUBNET_BASE == 0x4000
+    assert RESIDENTIAL_SUBNET_BASE == 0x6000
+    assert TGA_SUBNET_BASE == 0x8000
+    assert AMPLIFICATION_SUBNET_BASE == 0xA000
 
 
 def run_actor(factory, seed):
@@ -218,6 +243,39 @@ class TestStrategyProperties:
             subnet = (dst >> 64) & 0xFFFF
             assert 0x6000 <= subnet < 0x6000 + count
 
+    @given(data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_amplification_probes_only_udp_123(self, data):
+        network, scheduler = fresh_sim()
+        count = data.draw(st.integers(min_value=1, max_value=16))
+        actor = AmplificationReconActor(
+            network, scheduler, name="a",
+            sources=sources_for("amplification"), base48=PREFIX48,
+            subnet_start=0xA000, subnet_count=count,
+            seed=data.draw(st.integers(0, 1000)))
+        plan = actor.planned()
+        assert {dst for _, _, dst, _ in plan} == actor.address_pool()
+        for _, _, dst, port in plan:
+            assert port == 123
+            assert addrmod.prefix(dst, 48) == PREFIX48
+            assert addrmod.iid(dst) in actor.iids
+            subnet = (dst >> 64) & 0xFFFF
+            assert 0xA000 <= subnet < 0xA000 + count
+
+    def test_amplification_probe_is_udp_monlist(self):
+        """The fired probe is a 72-byte UDP monlist request, not TCP."""
+        network, scheduler = fresh_sim()
+        taps = []
+        network.add_tap(lambda record: taps.append(record))
+        actor = make_amplification(network, scheduler, seed=3)
+        actor.deploy()
+        scheduler.run_all()
+        assert taps
+        for record in taps:
+            assert record.transport.value == "udp"
+            assert record.dst_port == 123
+            assert record.size == 72
+
     @given(seed=st.integers(0, 1000))
     @settings(max_examples=20, deadline=None)
     def test_sources_always_from_configured_pool(self, seed):
@@ -247,15 +305,15 @@ def run_leak_scenario(worker_pool=None):
 class TestLabeledScenario:
     def test_every_strategy_detected_on_its_own_cluster(self):
         population, report, _ = run_leak_scenario()
-        assert len(report.attributions) == 4
+        assert len(report.attributions) == 5
         assert {a.strategy for a in report.attributions} \
-            == {"hitlist", "tga", "rdns", "residential"}
+            == set(ALL_STRATEGIES)
 
     def test_confusion_diagonal_meets_floor(self):
         _, report, _ = run_leak_scenario()
         assert report.diagonal_accuracy() >= 0.9
         metrics = report.strategy_metrics()
-        for strategy in ("hitlist", "tga", "rdns", "residential"):
+        for strategy in ALL_STRATEGIES:
             assert metrics[strategy]["precision"] >= 0.9, strategy
             assert metrics[strategy]["recall"] >= 0.9, strategy
             assert metrics[strategy]["support"] == 1
@@ -308,12 +366,11 @@ class TestEcosystemApi:
     def test_diagonal_accuracy_floor(self, ecosystem_run):
         accuracy = ecosystem_run.report.tables["accuracy"]
         assert accuracy["diagonal"] >= 0.9
-        assert accuracy["labeled"] == accuracy["clusters"] == 6
+        assert accuracy["labeled"] == accuracy["clusters"] == 7
 
     def test_all_strategies_present(self, ecosystem_run):
         confusion = ecosystem_run.report.tables["confusion"]
-        assert set(confusion) \
-            == {"ntp", "hitlist", "tga", "rdns", "residential"}
+        assert set(confusion) == {"ntp"} | set(ALL_STRATEGIES)
         metrics = ecosystem_run.report.tables["strategy_metrics"]
         assert metrics["ntp"]["support"] == 2  # overt GT + covert
 

@@ -84,3 +84,58 @@ class TestServerRateLimit:
         client = NtpClient(network, CLIENT)
         assert client.query(SERVER) is not None
         assert client.query(SERVER) is not None
+
+    def test_lockout_recovery_after_backoff(self, network):
+        """Rejected requests must not refresh the limiter's timestamp.
+
+        The seed server refreshed it, so a client steadily polling
+        below min_interval was kissed forever — backing off for one
+        compliant interval must always recover service.
+        """
+        NtpServer(network, SERVER, location="X", min_interval=8.0)
+        client = NtpClient(network, CLIENT)
+        assert client.query(SERVER) is not None  # t=0: served
+        network.clock.advance(4.0)
+        assert client.query(SERVER) is None      # t=4: kissed
+        network.clock.advance(5.0)
+        # t=9: 9s since the *served* request — admitted.  With the
+        # timestamp-refresh bug this is 5s since the rejection and the
+        # client stays locked out.
+        assert client.query(SERVER) is not None
+        assert client.kisses == ["RATE"]
+
+    def test_steady_fast_poller_not_locked_out_forever(self, network):
+        NtpServer(network, SERVER, location="X", min_interval=8.0)
+        client = NtpClient(network, CLIENT)
+        served = 0
+        for _ in range(12):
+            if client.query(SERVER) is not None:
+                served += 1
+            network.clock.advance(5.0)
+        # Every other 5s poll lands past the 8s window: roughly half
+        # are served.  The lockout bug served exactly the first one.
+        assert served >= 5
+
+
+class TestTrackedClientBound:
+    def test_last_request_map_is_ttl_pruned(self, network):
+        """The limiter map must not grow one entry per client forever."""
+        server = NtpServer(network, SERVER, location="X",
+                           min_interval=8.0, prune_every=16)
+        for index in range(200):
+            NtpClient(network, CLIENT + index).query(SERVER)
+            network.clock.advance(1.0)
+        # Entries older than min_interval admit anyway, so sweeps (every
+        # 16 requests) keep at most interval + sweep-cadence live rows.
+        assert server.tracked_clients <= 24
+        assert server.stats.clients_pruned >= 176
+
+    def test_manual_prune_empties_expired(self, network):
+        server = NtpServer(network, SERVER, location="X",
+                           min_interval=8.0)
+        for index in range(5):
+            NtpClient(network, CLIENT + index).query(SERVER)
+        assert server.tracked_clients == 5
+        network.clock.advance(10.0)
+        assert server.prune() == 5
+        assert server.tracked_clients == 0

@@ -85,11 +85,31 @@ class TestCodec:
         packet = NtpPacket(precision=-29)
         assert NtpPacket.decode(packet.encode()).precision == -29
 
+    def test_negative_poll_roundtrip(self):
+        # Regression: the seed codec packed poll unsigned (`& 0xFF`),
+        # so a sub-second poll exponent of -6 decoded as 250.
+        packet = NtpPacket(poll=-6)
+        assert NtpPacket.decode(packet.encode()).poll == -6
+
+    def test_nonnegative_poll_wire_bytes_unchanged(self):
+        # The signed-poll fix must not move a single wire byte for the
+        # non-negative polls every existing golden was built from.
+        packet = NtpPacket(poll=10, precision=-23)
+        raw = packet.encode()
+        assert raw[2] == 10
+        assert raw[3] == (-23) & 0xFF
+
+    def test_encode_rejects_out_of_range_poll(self):
+        with pytest.raises(ValueError):
+            NtpPacket(poll=128).encode()
+        with pytest.raises(ValueError):
+            NtpPacket(poll=-129).encode()
+
     @given(
         leap=st.sampled_from(list(LeapIndicator)),
         mode=st.sampled_from(list(Mode)),
         stratum=st.integers(0, 255),
-        poll=st.integers(0, 255),
+        poll=st.integers(-128, 127),
         timestamps=st.tuples(*[st.integers(0, 2**64 - 1)] * 4),
     )
     def test_roundtrip_property(self, leap, mode, stratum, poll, timestamps):
@@ -101,6 +121,46 @@ class TestCodec:
             transmit_timestamp=timestamps[3],
         )
         assert NtpPacket.decode(packet.encode()) == packet
+
+    @given(
+        leap=st.sampled_from(list(LeapIndicator)),
+        version=st.integers(1, 7),
+        mode=st.sampled_from(list(Mode)),
+        stratum=st.integers(0, 255),
+        poll=st.integers(-128, 127),
+        precision=st.integers(-128, 127),
+        root_delay=st.integers(0, 2**32 - 1),
+        root_dispersion=st.integers(0, 2**32 - 1),
+        reference_id=st.integers(0, 2**32 - 1),
+        timestamps=st.tuples(*[st.integers(0, 2**64 - 1)] * 4),
+        extensions=st.binary(max_size=64),
+    )
+    def test_roundtrip_full_range(self, leap, version, mode, stratum, poll,
+                                  precision, root_delay, root_dispersion,
+                                  reference_id, timestamps, extensions):
+        """Every field over its full wire range survives a round trip."""
+        packet = NtpPacket(
+            leap=leap, version=version, mode=mode, stratum=stratum,
+            poll=poll, precision=precision, root_delay=root_delay,
+            root_dispersion=root_dispersion, reference_id=reference_id,
+            reference_timestamp=timestamps[0],
+            origin_timestamp=timestamps[1],
+            receive_timestamp=timestamps[2],
+            transmit_timestamp=timestamps[3],
+            extensions=extensions,
+        )
+        assert NtpPacket.decode(packet.encode()) == packet
+
+    @given(data=st.binary(max_size=96))
+    def test_decode_fuzz_raises_only_decode_error(self, data):
+        """Arbitrary bytes either decode or raise NtpDecodeError — never
+        a raw struct.error or bare ValueError."""
+        try:
+            packet = NtpPacket.decode(data)
+        except NtpDecodeError:
+            return
+        assert isinstance(packet, NtpPacket)
+        assert packet.encode() == data
 
 
 class TestRequestResponse:
